@@ -1,0 +1,71 @@
+"""Ablation: GC trigger threshold and periodic full collections.
+
+The paper observes 2..23 GC cycles depending on allocation intensity
+(§VI-E).  The threshold is the knob behind that count: halving it roughly
+doubles cycles while shrinking each cycle's dirty set.  ``full_every``
+trades minor-cycle cheapness against old-generation garbage retention.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.core.tracking import Technique
+from repro.experiments.harness import run_boehm
+from repro.trackers.boehm import GcParams
+
+SCALE = 0.005 if QUICK else 0.02
+THRESHOLDS = [512 * 1024, 1024 * 1024, 4 * 1024 * 1024]
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_ablation_gc_threshold(benchmark, threshold):
+    r = benchmark.pedantic(
+        run_boehm,
+        args=("gcbench", "small", Technique.EPML),
+        kwargs={"scale": SCALE,
+                "gc_params": GcParams(threshold_bytes=threshold)},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["cycles"] = len(r.cycles)
+    print(f"\nthreshold={threshold >> 10}KiB: cycles={len(r.cycles)}, "
+          f"GC={r.gc_us / 1000:.1f}ms")
+
+
+def test_ablation_gc_threshold_drives_cycle_count(benchmark):
+    runs = benchmark.pedantic(
+        lambda: {
+            t: run_boehm("gcbench", "small", Technique.EPML, scale=SCALE,
+                         gc_params=GcParams(threshold_bytes=t))
+            for t in THRESHOLDS
+        },
+        rounds=1, iterations=1,
+    )
+    cycles = [len(runs[t].cycles) for t in THRESHOLDS]
+    # Smaller threshold => more cycles, monotonically.
+    assert cycles[0] > cycles[1] > cycles[2] >= 1
+    # More cycles => smaller average dirty set per cycle.
+    avg_dirty = [
+        sum(c.n_dirty_pages for c in runs[t].cycles) / max(1, len(runs[t].cycles))
+        for t in THRESHOLDS
+    ]
+    assert avg_dirty[0] < avg_dirty[2]
+
+
+def test_ablation_gc_full_every_reclaims_old_garbage(benchmark):
+    """Minor-only collection retains dead old objects; periodic full
+    cycles reclaim them."""
+    def run(full_every):
+        return run_boehm(
+            "gcbench", "small", Technique.ORACLE, scale=SCALE,
+            gc_params=GcParams(threshold_bytes=512 * 1024,
+                               full_every=full_every),
+        )
+
+    minor_only = benchmark.pedantic(run, args=(0,), rounds=1, iterations=1)
+    periodic = run(4)
+    live_minor = minor_only.cycles[-1].live_after
+    live_periodic = periodic.cycles[-1].live_after
+    assert live_periodic <= live_minor
+    # Full cycles visit much more than minors do.
+    kinds = [c.kind for c in periodic.cycles]
+    assert kinds.count("full") >= 2

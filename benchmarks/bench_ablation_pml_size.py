@@ -1,0 +1,59 @@
+"""Ablation: PML buffer size (DESIGN.md §4).
+
+Intel fixed the PML buffer at 512 entries (one 4 KiB page).  Sweeping the
+size shows the tradeoff it embodies: smaller buffers raise the PML-full
+event rate (vmexits for SPML, self-IPIs for EPML) roughly inversely with
+capacity, while the total logged-address volume stays constant.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.experiments.harness import run_microbench
+
+SIZES = [64, 128, 512, 2048]
+MEM_MB = 50 if QUICK else 250
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_ablation_pml_size(benchmark, entries):
+    result = benchmark.pedantic(
+        run_microbench,
+        args=("epml", MEM_MB),
+        kwargs={"pml_buffer_entries": entries},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["self_ipis"] = result.events.get("self_ipi", 0)
+    benchmark.extra_info["overhead_tracked_pct"] = result.overhead_tracked_pct
+    print(
+        f"\nEPML pml_entries={entries}: self-IPIs="
+        f"{result.events.get('self_ipi', 0)}, "
+        f"tracked overhead={result.overhead_tracked_pct:.2f}%"
+    )
+
+
+def test_ablation_pml_size_event_rate_scales_inversely(benchmark):
+    runs = benchmark.pedantic(
+        lambda: {
+            n: run_microbench("epml", MEM_MB, pml_buffer_entries=n)
+            for n in SIZES
+        },
+        rounds=1, iterations=1,
+    )
+    ipis = {n: runs[n].events.get("self_ipi", 0) for n in SIZES}
+    # Quadrupling capacity divides the full-event count by ~4.
+    assert ipis[128] == pytest.approx(ipis[512] * 4, rel=0.1)
+    assert ipis[512] == pytest.approx(ipis[2048] * 4, rel=0.15)
+    # Nothing is lost at any size.
+    dirty = {n: runs[n].n_dirty for n in SIZES}
+    assert len(set(dirty.values())) == 1
+
+
+def test_ablation_pml_size_spml_vmexits(benchmark):
+    small = benchmark.pedantic(run_microbench, args=("spml", MEM_MB),
+                               kwargs={"pml_buffer_entries": 64},
+                               rounds=1, iterations=1)
+    large = run_microbench("spml", MEM_MB, pml_buffer_entries=2048)
+    assert small.events["pml_full_vmexit"] > 8 * large.events["pml_full_vmexit"]
+    # More vmexits -> more tracked-side interference.
+    assert small.tracked_us >= large.tracked_us

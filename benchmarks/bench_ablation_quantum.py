@@ -1,0 +1,60 @@
+"""Ablation: scheduler switch interval (the paper's N; DESIGN.md §4).
+
+SPML pays a disable_logging/enable_logging hypercall pair at every
+schedule-out/in of the tracked process, while EPML pays two vmwrites
+(Formula 4: I(SPML) includes vmexits; I(EPML) = N x vmread/vmwrite).
+Shrinking the switch interval inflates N and should hurt SPML far more
+than EPML.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.experiments.harness import run_microbench
+
+INTERVALS_US = [10_000.0, 100_000.0, 1_000_000.0, 3_500_000.0]
+MEM_MB = 50 if QUICK else 250
+
+
+@pytest.mark.parametrize("interval_us", INTERVALS_US)
+def test_ablation_quantum(benchmark, interval_us):
+    spml = benchmark.pedantic(
+        run_microbench,
+        args=("spml", MEM_MB),
+        kwargs={"switch_interval_us": interval_us},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["n_switches"] = spml.events.get("sched_switch", 0)
+    print(
+        f"\nSPML interval={interval_us / 1e3:.0f}ms: N="
+        f"{spml.events.get('sched_switch', 0)}, "
+        f"hypercalls={spml.events.get('hypercall', 0)}"
+    )
+
+
+def test_ablation_quantum_n_drives_spml_hypercalls(benchmark):
+    fast = benchmark.pedantic(run_microbench, args=("spml", MEM_MB),
+                              kwargs={"switch_interval_us": 10_000.0},
+                              rounds=1, iterations=1)
+    slow = run_microbench("spml", MEM_MB, switch_interval_us=3_500_000.0)
+    assert fast.events["sched_switch"] > slow.events.get("sched_switch", 0)
+    # Every extra switch pair costs two extra hypercalls under SPML.
+    extra_switches = fast.events["sched_switch"] - slow.events.get(
+        "sched_switch", 0
+    )
+    extra_hypercalls = fast.events["hypercall"] - slow.events["hypercall"]
+    assert extra_hypercalls == pytest.approx(2 * extra_switches, abs=2)
+
+
+def test_ablation_quantum_epml_insensitive(benchmark):
+    fast = benchmark.pedantic(run_microbench, args=("epml", MEM_MB),
+                              kwargs={"switch_interval_us": 10_000.0},
+                              rounds=1, iterations=1)
+    slow = run_microbench("epml", MEM_MB, switch_interval_us=3_500_000.0)
+    # EPML's toggles are vmwrites: no new vmexits however small the
+    # quantum gets.
+    assert fast.events.get("vmexit", 0) == slow.events.get("vmexit", 0)
+    # And the overhead moves by well under a percentage point.
+    assert abs(
+        fast.overhead_tracked_pct - slow.overhead_tracked_pct
+    ) < 1.0

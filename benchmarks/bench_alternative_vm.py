@@ -1,0 +1,77 @@
+"""Bench: OoH process checkpoint vs the §III-C dedicate-a-VM alternative.
+
+The paper rejects whole-VM checkpointing because colocation (the FaaS
+norm) makes the VM image carry every tenant: this bench quantifies that
+with one target process plus colocated tenants in a single VM.
+"""
+
+import numpy as np
+import pytest
+from conftest import QUICK
+
+from repro.core.tracking import Technique
+from repro.experiments.harness import build_stack
+from repro.hypervisor.vm_checkpoint import checkpoint_vm
+from repro.trackers.criu import Criu
+
+TENANTS = 3 if QUICK else 7
+TENANT_PAGES = 2048 if QUICK else 8192
+TARGET_PAGES = 1024 if QUICK else 4096
+
+
+def _stack_with_tenants():
+    stack = build_stack(vm_mb=(TENANTS * TENANT_PAGES + TARGET_PAGES) / 256 + 64)
+    target = stack.kernel.spawn("target", n_pages=TARGET_PAGES)
+    target.space.add_vma(TARGET_PAGES)
+    stack.kernel.access(target, np.arange(TARGET_PAGES), True)
+    for i in range(TENANTS):
+        t = stack.kernel.spawn(f"tenant{i}", n_pages=TENANT_PAGES)
+        t.space.add_vma(TENANT_PAGES)
+        stack.kernel.access(t, np.arange(TENANT_PAGES), True)
+    return stack, target
+
+
+def test_alternative_vm_checkpoint(benchmark):
+    stack, target = _stack_with_tenants()
+    image, report = benchmark.pedantic(
+        checkpoint_vm, args=(stack.hv, stack.vm), rounds=1, iterations=1
+    )
+    benchmark.extra_info["pages"] = image.total_pages_dumped
+    print(
+        f"\nVM-level checkpoint: {image.total_pages_dumped:,} pages, "
+        f"{report.total_us / 1000:,.1f} ms"
+    )
+
+
+def test_alternative_process_checkpoint(benchmark):
+    stack, target = _stack_with_tenants()
+    criu = Criu(stack.kernel, Technique.EPML)
+    image, report = benchmark.pedantic(
+        criu.checkpoint, args=(target,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["pages"] = report.pages_dumped
+    print(
+        f"\nOoH process checkpoint: {report.pages_dumped:,} pages, "
+        f"{report.phases.total_us / 1000:,.1f} ms"
+    )
+
+
+def test_alternative_colocation_penalty(benchmark):
+    """The VM image scales with tenants; the process image does not."""
+    def run():
+        stack, target = _stack_with_tenants()
+        vm_image, vm_report = checkpoint_vm(stack.hv, stack.vm)
+        p_image, p_report = Criu(stack.kernel, Technique.EPML).checkpoint(
+            target
+        )
+        return vm_image, vm_report, p_report
+
+    vm_image, vm_report, p_report = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    expected_ratio = (TENANTS * TENANT_PAGES + TARGET_PAGES) / TARGET_PAGES
+    ratio = vm_image.total_pages_dumped / p_report.pages_dumped
+    print(f"\nimage-size penalty: {ratio:.1f}x (tenant ratio {expected_ratio:.1f}x)")
+    assert ratio == pytest.approx(expected_ratio, rel=0.1)
+    # Memory-write work scales with the image (fixed init costs aside).
+    assert vm_report.total_us > p_report.phases.mw_us

@@ -1,0 +1,35 @@
+"""Fig. 10/11: scalability with the number of tenant VMs (1..5).
+
+Paper claims: SPML's and EPML's impact on Tracker and Tracked with
+Boehm + Phoenix-histogram (Large) stays essentially constant as the VM
+count grows — each VM has a dedicated CPU and its own PML state.
+"""
+
+from collections import defaultdict
+
+from conftest import run_and_print
+
+
+def _parse_range(cell: str) -> tuple[float, float]:
+    lo, hi = str(cell).split("..")
+    return float(lo.replace(",", "")), float(hi.replace(",", ""))
+
+
+def test_fig10_11(benchmark, quick):
+    out = run_and_print(benchmark, "fig10_11", quick)
+    gc_by_tech = defaultdict(list)
+    ovh_by_tech = defaultdict(list)
+    for n_vms, tech, gc_range, ovh_range in out.rows:
+        gc_by_tech[tech].append(_parse_range(gc_range))
+        ovh_by_tech[tech].append(_parse_range(ovh_range))
+    for tech in ("spml", "epml"):
+        assert len(gc_by_tech[tech]) == 5  # VM counts 1..5
+        # Constant across VM counts (Fig. 10): spread within 10%.
+        highs = [hi for _, hi in gc_by_tech[tech]]
+        assert max(highs) <= 1.1 * min(highs) + 1.0
+        # Within a run, per-VM numbers are tight too.
+        for lo, hi in gc_by_tech[tech]:
+            assert hi <= 1.1 * lo + 1.0
+    # EPML stays better than SPML at every VM count (Fig. 11).
+    for (s_lo, _), (e_lo, _) in zip(ovh_by_tech["spml"], ovh_by_tech["epml"]):
+        assert e_lo <= s_lo

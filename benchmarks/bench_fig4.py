@@ -1,0 +1,34 @@
+"""Fig. 4: tracking-technique overhead on the micro-benchmark.
+
+Paper claims: SPML incurs the greatest slowdown at large sizes (up to
+~66x, reverse-mapping bound); ufd is the worst *below* ~250 MB (userspace
+fault handling bound); EPML's overhead is negligible (~0.6%) at every
+size.
+"""
+
+from conftest import run_and_print
+
+
+def _series(out):
+    return out.extra["series"]  # technique -> [slowdown per size]
+
+
+def test_fig4(benchmark, quick):
+    out = run_and_print(benchmark, "fig4", quick)
+    s = _series(out)
+
+    # EPML negligible at every size (paper: <= ~0.6% overhead).
+    assert max(s["epml"]) < 1.10
+
+    # ufd worst among techniques at the smallest size.
+    assert s["ufd"][0] > s["proc"][0]
+    assert s["ufd"][0] > s["epml"][0]
+
+    if not quick:
+        # SPML worst at 1 GB; a ufd/SPML crossover exists in between.
+        assert s["spml"][-1] > s["ufd"][-1] > s["proc"][-1] > s["epml"][-1]
+        assert s["ufd"][1] > s["spml"][1]  # 10 MB: ufd still worse
+        # Rough factors: SPML tens-of-x, ufd ~15-20x, proc ~3-4x @1GB.
+        assert s["spml"][-1] > 10
+        assert 5 < s["ufd"][-1] < 60
+        assert 1.5 < s["proc"][-1] < 15

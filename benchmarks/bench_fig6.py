@@ -1,0 +1,34 @@
+"""Fig. 6: Boehm GC's impact on the tracked application.
+
+Paper claims: EPML significantly reduces Boehm's overhead compared to
+/proc and SPML for all applications (by ~62% on string-match); SPML's
+first-cycle reverse mapping makes it worse than /proc on most apps.
+"""
+
+from collections import defaultdict
+
+from conftest import run_and_print
+
+
+def test_fig6(benchmark, quick):
+    out = run_and_print(benchmark, "fig6", quick)
+    per = defaultdict(dict)
+    for app, config, tech, ovh in out.rows:
+        per[(app, config)][tech] = float(str(ovh).replace(",", ""))
+    n = len(per)
+    # EPML lowest overhead everywhere (paper: all applications).  Short
+    # apps (well under the paper's multi-second runs) do not amortise
+    # EPML's fixed VMCS-shadowing init (~17 ms), so allow a tie band of
+    # 2 points or 50% relative on such cells (EXPERIMENTS.md, deviations).
+    def epml_ok(t: dict) -> bool:
+        limit_proc = max(t["proc"] + 2, t["proc"] * 1.5)
+        limit_spml = max(t["spml"] + 2, t["spml"] * 1.5)
+        return t["epml"] <= limit_proc and t["epml"] <= limit_spml
+
+    epml_best = sum(1 for t in per.values() if epml_ok(t))
+    assert epml_best >= n - 1
+    # EPML's advantage is substantial on at least one app (paper: 62%).
+    gains = [
+        (t["proc"] - t["epml"]) / max(t["proc"], 1e-9) for t in per.values()
+    ]
+    assert max(gains) > 0.4

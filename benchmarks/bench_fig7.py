@@ -1,0 +1,32 @@
+"""Fig. 7: CRIU memory-write (MW) time per technique.
+
+Paper claims: SPML and EPML improve the MW phase by up to ~26x vs /proc
+(which interleaves the pagemap walk with writing), and their MW time is
+almost constant across applications while /proc's grows to several
+seconds.
+"""
+
+from collections import defaultdict
+
+from conftest import run_and_print
+
+
+def test_fig7(benchmark, quick):
+    out = run_and_print(benchmark, "fig7", quick)
+    per = defaultdict(dict)
+    for app, tech, mw in out.rows:
+        per[app][tech] = float(str(mw).replace(",", ""))
+    improvements = []
+    for app, techs in per.items():
+        assert techs["epml"] <= techs["proc"]
+        assert techs["spml"] <= techs["proc"] * 1.05
+        if techs["epml"] > 0:
+            improvements.append(techs["proc"] / techs["epml"])
+    # At least one app shows a large (>5x) MW improvement.
+    assert improvements and max(improvements) > 5.0
+    # SPML and EPML MW are (nearly) identical: both write one batch of
+    # exactly the dirty pages.
+    for techs in per.values():
+        assert abs(techs["spml"] - techs["epml"]) <= max(
+            1.0, 0.1 * max(techs["spml"], techs["epml"])
+        )

@@ -1,0 +1,27 @@
+"""Fig. 9: CRIU's overhead on the checkpointed application.
+
+Paper claims: /proc up to ~102% (pca); SPML higher than /proc, up to
+~114%; EPML never above ~14% with a ~3% average.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+from conftest import run_and_print
+
+
+def test_fig9(benchmark, quick):
+    out = run_and_print(benchmark, "fig9", quick)
+    per = defaultdict(dict)
+    for app, tech, ovh in out.rows:
+        per[app][tech] = float(str(ovh).replace(",", ""))
+    epml = [t["epml"] for t in per.values()]
+    proc = [t["proc"] for t in per.values()]
+    spml = [t["spml"] for t in per.values()]
+    # EPML lowest overhead on every app and small in absolute terms.
+    for techs in per.values():
+        assert techs["epml"] <= techs["proc"]
+        assert techs["epml"] <= techs["spml"]
+    assert float(np.mean(epml)) < 15.0
+    # SPML's worst case exceeds /proc's worst case (paper: 114% vs 102%).
+    assert max(spml) >= max(proc)

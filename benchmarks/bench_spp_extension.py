@@ -1,0 +1,82 @@
+"""Extension bench: OoH-SPP secure-heap guard waste (paper §III-D).
+
+The paper's announced next OoH application: "By relying on Intel SPP, we
+intend to reduce that overhead [guard-page memory waste] by a factor of
+32 according to the number of sub-pages allowed by Intel SPP within a
+memory page."
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.core.oohspp import OohSpp
+from repro.experiments.harness import build_stack
+from repro.hw.spp import SUBPAGE_BYTES
+from repro.trackers.secureheap import GuardMode, OverflowDetected, SecureHeap
+
+N_ALLOCS = 200 if QUICK else 2000
+
+
+def _build(mode: GuardMode, sizes):
+    stack = build_stack(vm_mb=256)
+    spp = OohSpp(stack.kernel)
+    spp.init()
+    proc = stack.kernel.spawn("alloc-app", n_pages=40_000)
+    heap = SecureHeap(stack.kernel, proc, spp, mode, heap_pages=32_000)
+    for s in sizes:
+        heap.alloc(int(s))
+    return heap
+
+
+def _sizes():
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    # Small-object workload: the regime where guard pages hurt most.
+    return rng.integers(16, 512, size=N_ALLOCS)
+
+
+@pytest.mark.parametrize("mode", [GuardMode.PAGE, GuardMode.SUBPAGE])
+def test_spp_guard_waste(benchmark, mode):
+    sizes = _sizes()
+    heap = benchmark.pedantic(_build, args=(mode, sizes), rounds=1, iterations=1)
+    benchmark.extra_info["guard_waste_bytes"] = heap.guard_waste_bytes
+    benchmark.extra_info["waste_ratio"] = heap.waste_ratio
+    print(
+        f"\n{mode.value}: payload={heap.payload_bytes:,} B, "
+        f"guard waste={heap.guard_waste_bytes:,} B "
+        f"(ratio {heap.waste_ratio:.2f})"
+    )
+
+
+def test_spp_waste_reduction_factor(benchmark):
+    sizes = _sizes()
+    page_heap = benchmark.pedantic(
+        _build, args=(GuardMode.PAGE, sizes), rounds=1, iterations=1
+    )
+    sub_heap = _build(GuardMode.SUBPAGE, sizes)
+    # Pure guard bytes: one page vs one sub-page per allocation = 32x.
+    pure_guard_page = N_ALLOCS * 4096
+    pure_guard_sub = N_ALLOCS * SUBPAGE_BYTES
+    assert pure_guard_page / pure_guard_sub == 32
+    # End-to-end waste (guards + rounding): well over an order of
+    # magnitude for small objects.
+    factor = page_heap.guard_waste_bytes / sub_heap.guard_waste_bytes
+    print(f"\nend-to-end waste reduction: {factor:.1f}x")
+    assert factor > 10
+
+
+def test_spp_detection_parity_on_page_crossers(benchmark):
+    """Both guards catch page-crossing overflows; only SPP catches
+    sub-page ones — detection is never weaker under SPP."""
+    def run():
+        heap = _build(GuardMode.SUBPAGE, [256])
+        alloc = list(heap._allocs.values())[0]
+        try:
+            heap.write(alloc, 0, 4097)
+        except OverflowDetected:
+            return heap
+        raise AssertionError("overflow escaped")
+
+    heap = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert heap.overflows_detected == 1

@@ -1,0 +1,20 @@
+"""Table IV: validation of the estimation formulas (paper §VI-B).
+
+The paper reports average accuracies of 96.34% (tracker) and 99%
+(tracked) when comparing Formula 1-4 estimates against measurements of
+CRIU checkpointing tkrzw-baby.  We reproduce the procedure against the
+simulator's measured per-world times.
+"""
+
+from conftest import run_and_print
+
+
+def test_table4(benchmark, quick):
+    out = run_and_print(benchmark, "table4", quick)
+    # Rows: [technique, meas_tker, est_tker, acc_tker, meas_tked,
+    #        est_tked, acc_tked]
+    for row in out.rows:
+        acc_tker = float(row[3])
+        acc_tked = float(row[6])
+        assert acc_tker > 90.0, f"{row[0]}: tracker accuracy {acc_tker}"
+        assert acc_tked > 90.0, f"{row[0]}: tracked accuracy {acc_tked}"

@@ -1,0 +1,46 @@
+"""Table V: basic costs of the internal metrics.
+
+Table Va's size-agnostic costs are calibration inputs (asserted to match
+the paper exactly); Table Vb's size-dependent costs are *measured* from
+micro-benchmark runs and compared against the published curves.
+"""
+
+import pytest
+from conftest import run_and_print
+
+from repro.core import calibration
+from repro.core.costs import CostModel
+
+
+def test_table5(benchmark, quick):
+    out = run_and_print(benchmark, "table5", quick)
+    assert len(out.rows) == 6  # M5, M6, M15, M16, M17, M18
+
+
+def test_table5a_constants_match_paper(benchmark):
+    cm = benchmark.pedantic(CostModel, rounds=1, iterations=1)
+    assert cm.params.context_switch_us == pytest.approx(0.315)
+    assert cm.params.vmread_us == pytest.approx(0.936)
+    assert cm.params.vmwrite_us == pytest.approx(0.801)
+    assert cm.params.hc_init_pml_us == pytest.approx(5495)
+    assert cm.params.hc_init_pml_shadow_us == pytest.approx(5878)
+    assert cm.params.enable_logging_us == pytest.approx(0.3)
+
+
+def test_table5b_measured_totals_track_published_curves(benchmark, quick):
+    """A full-array sweep's charges equal the published totals."""
+    from repro.experiments.harness import run_microbench
+
+    mb = 100
+    pages = calibration.mb_to_pages(mb)
+    cm = CostModel()
+    r = benchmark.pedantic(run_microbench, args=("proc",),
+                           kwargs={"mem_mb": mb}, rounds=1, iterations=1)
+    # Two passes -> two full sets of soft-dirty faults (M5).
+    expected_m5 = 2 * cm.pf_kernel_unit_us(pages) * pages
+    assert r.event_us["pf_kernel"] == pytest.approx(expected_m5, rel=0.05)
+    # Each collection performs one pagemap parse (M16).
+    n_walks = r.events["pt_walk_user"]
+    assert r.event_us["pt_walk_user"] == pytest.approx(
+        n_walks * cm.pt_walk_user_us(pages + 16), rel=0.05
+    )

@@ -1,0 +1,38 @@
+"""Table VI: which internal metrics each technique involves.
+
+Reproduced empirically: run the micro-benchmark under every technique and
+record which events fire.  The paper's associations (e.g. reverse mapping
+is SPML-only; vmread/vmwrite are EPML-only; clear_refs is /proc-only)
+must hold.
+"""
+
+from conftest import run_and_print
+
+
+def _col(out, event):
+    for row in out.rows:
+        if row[0] == event:
+            return {t: bool(v) for t, v in zip(("proc", "ufd", "spml", "epml"),
+                                               row[1:])}
+    raise KeyError(event)
+
+
+def test_table6(benchmark, quick):
+    out = run_and_print(benchmark, "table6", quick)
+    assert _col(out, "reverse_map") == {
+        "proc": False, "ufd": False, "spml": True, "epml": False}
+    assert _col(out, "clear_refs") == {
+        "proc": True, "ufd": False, "spml": False, "epml": False}
+    assert _col(out, "pf_user") == {
+        "proc": False, "ufd": True, "spml": False, "epml": False}
+    assert _col(out, "pf_kernel") == {
+        "proc": True, "ufd": False, "spml": False, "epml": False}
+    vm = _col(out, "vmwrite")
+    assert vm["epml"] and not vm["proc"] and not vm["ufd"]
+    # Ring-buffer copies belong to both PML techniques.
+    rb = _col(out, "rb_copy")
+    assert rb["spml"] and rb["epml"] and not rb["proc"] and not rb["ufd"]
+    # The paper's context switches (M1) appear everywhere faults or
+    # scheduling occur.
+    assert _col(out, "context_switch")["proc"]
+    assert _col(out, "context_switch")["ufd"]

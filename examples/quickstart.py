@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: track a process's dirty pages with every technique.
+
+Builds the simulated stack (host -> Xen-like hypervisor -> VM -> Linux-like
+guest kernel), spawns a process that writes some pages, and collects its
+dirty set through each of the paper's techniques — /proc soft-dirty,
+userfaultfd, SPML, EPML — plus the zero-cost oracle.  All five must agree
+on *what* was dirtied; they differ wildly in what the tracking *costs*.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.clock import SimClock, World
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique, make_tracker
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+
+
+def track_once(technique: Technique) -> None:
+    # -- build the stack -------------------------------------------------
+    clock = SimClock()
+    hypervisor = Hypervisor(clock, CostModel(), host_mem_mb=256)
+    vm = hypervisor.create_vm("demo-vm", mem_mb=64)
+    kernel = GuestKernel(vm)
+
+    # -- a process with a 4 MiB working set -------------------------------
+    proc = kernel.spawn("app", mem_mb=8)
+    proc.space.add_vma(1024, "heap")
+    kernel.access(proc, np.arange(1024), True)  # populate
+
+    # -- track it ----------------------------------------------------------
+    tracker = make_tracker(technique, kernel, proc)
+    with tracker:
+        # The app writes 3 scattered pages and reads 2 others.
+        kernel.access(proc, [10, 500, 900], True)
+        kernel.access(proc, [20, 30], False)
+        dirty = tracker.collect()
+
+    print(
+        f"{technique.value:>7}: dirty pages = {sorted(int(v) for v in dirty)}"
+        f"  | tracker time = {clock.world_us(World.TRACKER) / 1000:8.3f} ms"
+        f"  | wall = {clock.now_us / 1000:8.3f} ms"
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    for technique in Technique:
+        track_once(technique)
+
+
+if __name__ == "__main__":
+    main()

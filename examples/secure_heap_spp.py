@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""OoH-SPP scenario: sub-page overflow guards (the paper's §III-D plan).
+
+A hardened allocator places an inaccessible guard after every object to
+catch buffer overflows synchronously.  With page-granular protection the
+guard wastes 4 KiB per allocation; with Intel SPP exposed to the guest
+via OoH, guards shrink to one 128-byte sub-page — a 32x reduction — and
+even *intra-page* overruns are caught.
+
+Run:  python examples/secure_heap_spp.py
+"""
+
+import numpy as np
+
+from repro.core.oohspp import OohSpp
+from repro.experiments.harness import build_stack
+from repro.trackers.secureheap import GuardMode, OverflowDetected, SecureHeap
+
+
+def demo(mode: GuardMode) -> SecureHeap:
+    stack = build_stack(vm_mb=256)
+    spp = OohSpp(stack.kernel)
+    spp.init()
+    proc = stack.kernel.spawn("hardened-app", n_pages=40_000)
+    heap = SecureHeap(stack.kernel, proc, spp, mode, heap_pages=32_000)
+
+    rng = np.random.default_rng(1)
+    allocs = [heap.alloc(int(s)) for s in rng.integers(16, 512, size=500)]
+
+    # Legal writes are fine.
+    heap.write(allocs[0], 0, allocs[0].size_bytes)
+
+    # A classic off-by-N overflow.
+    overflowing = allocs[42]
+    try:
+        heap.write(overflowing, 0, overflowing.usable_subpages * 128 + 1)
+        caught = False
+    except OverflowDetected as e:
+        caught = True
+        detail = e
+
+    print(f"\n{mode.value} guards:")
+    print(f"  allocations:        {len(allocs)}")
+    print(f"  payload bytes:      {heap.payload_bytes:,}")
+    print(f"  guard waste bytes:  {heap.guard_waste_bytes:,} "
+          f"(ratio {heap.waste_ratio:.2f})")
+    if mode is GuardMode.SUBPAGE:
+        print(f"  intra-page overflow caught: {caught} ({detail})")
+    else:
+        print(f"  intra-page overflow caught: {caught} "
+              "(page guards only fire at page crossings)")
+    return heap
+
+
+def main() -> None:
+    print(__doc__)
+    page = demo(GuardMode.PAGE)
+    sub = demo(GuardMode.SUBPAGE)
+    factor = page.guard_waste_bytes / sub.guard_waste_bytes
+    print(f"\n=> SPP reduces guard waste by {factor:.1f}x "
+          "(paper §III-D predicts ~32x for pure guards)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` on hosts without
+the `wheel` package (this build environment is offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,443 @@
+"""The OoH library: userspace lib + guest kernel module (UIO style).
+
+The paper ships OoH as a UIO-like driver pair (§IV-B): a kernel module
+(*OoH Module*) that owns the privileged plumbing, and a userspace library
+(*OoH Lib*) that trackers link against.  The tracker registers the PID of
+the tracked process; from then on the processor logs dirty-page addresses,
+which the tracker periodically fetches from a ring buffer.
+
+* **SPML attachment** — the module issues the ``HC_OOH_INIT_PML``
+  hypercall (M9); every schedule-in/out of the tracked process costs an
+  ``enable_logging``/``disable_logging`` hypercall pair (M13/M14); the
+  hypervisor fills a shared ring buffer with **GPAs** at PML-full vmexits;
+  collection drains the ring and *reverse-maps* GPA -> GVA (M17, the
+  paper's measured SPML bottleneck, Fig. 3).
+
+* **EPML attachment** — the module issues the single
+  ``HC_OOH_INIT_PML_SHADOW`` hypercall (M10), then configures the
+  guest-level PML buffer itself with vmwrite on the shadow VMCS
+  (``GUEST_PML_ADDRESS`` is EPT-translated by the extended ISA);
+  schedule-in/out costs one vmwrite (M8) each; the processor logs **GVAs**
+  and raises a posted self-IPI on buffer-full, handled by the module,
+  which copies into a per-process ring buffer; collection is a plain ring
+  drain — no reverse mapping, no hypercalls.
+"""
+
+from __future__ import annotations
+
+import enum
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clock import SimClock, World
+from repro.core.costs import (
+    EV_DISABLE_LOGGING,
+    EV_ENABLE_LOGGING,
+    EV_HC_DEACT_PML,
+    EV_HC_DEACT_PML_SHADOW,
+    EV_HC_INIT_PML,
+    EV_HC_INIT_PML_SHADOW,
+    EV_IOCTL_DEACT_PML,
+    EV_IOCTL_INIT_PML,
+    EV_PT_WALK_USER,
+    EV_RB_COPY,
+    EV_REVERSE_MAP,
+    CostModel,
+)
+from repro.core.ringbuffer import RingBuffer
+from repro.errors import TrackingError
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import Process
+from repro.hw import vmcs as vmcsf
+from repro.hw.interrupts import VECTOR_OOH_PML_FULL
+from repro.hw.pagetable import PTE_DIRTY
+from repro.hypervisor import hypercalls as hc
+
+__all__ = ["OohKind", "OohModule", "OohLib", "OohAttachment"]
+
+#: Default per-process ring buffer capacity (entries).
+DEFAULT_RING_CAPACITY = 1 << 20
+
+
+class OohKind(enum.Enum):
+    SPML = "spml"
+    EPML = "epml"
+
+
+@dataclass
+class CollectStats:
+    """Diagnostics for one collection."""
+
+    n_entries: int = 0
+    n_vpns: int = 0
+    n_unresolved: int = 0  # SPML GPAs with no current mapping
+    dropped: int = 0  # ring-buffer overflow losses since attach
+
+
+class OohAttachment:
+    """One tracked process; created via :meth:`OohModule.attach`."""
+
+    def __init__(
+        self,
+        module: "OohModule",
+        process: Process,
+        kind: OohKind,
+        ring: RingBuffer,
+        reverse_map_cache: bool = False,
+    ) -> None:
+        self.module = module
+        self.process = process
+        self.kind = kind
+        self.ring = ring
+        self.active = True
+        self.last_stats = CollectStats()
+        #: SPML only: cache resolved GPA -> GVA translations so repeated
+        #: collections skip the expensive reverse mapping (the paper's
+        #: Boehm integration "reuses the addresses collected during the
+        #: first cycle", §VI-E footnote).
+        self._rmap_cache: np.ndarray | None = (
+            np.full(module.kernel.vm.mem_pages, -1, dtype=np.int64)
+            if (reverse_map_cache and kind is OohKind.SPML)
+            else None
+        )
+
+    def collect(self) -> np.ndarray:
+        """Fetch dirty VPNs logged since the previous collect."""
+        if not self.active:
+            raise TrackingError("collect on a detached OoH attachment")
+        if self.kind is OohKind.SPML:
+            return self.module._collect_spml(self)
+        return self.module._collect_epml(self)
+
+    def detach(self) -> None:
+        if self.active:
+            self.module._detach(self)
+            self.active = False
+
+
+class OohModule:
+    """The guest kernel module half of the OoH driver.
+
+    A kernel module loads once per kernel: use :meth:`shared` (what the
+    tracker techniques do) unless a test needs an isolated instance.
+    """
+
+    _instances: "weakref.WeakKeyDictionary[GuestKernel, OohModule]"
+
+    def __init__(
+        self, kernel: GuestKernel, ring_capacity: int = DEFAULT_RING_CAPACITY
+    ) -> None:
+        self.kernel = kernel
+        self.ring_capacity = ring_capacity
+        self.clock: SimClock = kernel.clock
+        self.costs: CostModel = kernel.costs
+        self._attachment: OohAttachment | None = None
+        self._pending_guest_entries: list[np.ndarray] = []
+        self._idt_registered = False
+        self._guest_buf_gpfn: int | None = None
+        self.n_self_ipis_handled = 0
+
+    @classmethod
+    def shared(
+        cls, kernel: GuestKernel, ring_capacity: int = DEFAULT_RING_CAPACITY
+    ) -> "OohModule":
+        """The per-kernel module instance (insmod once)."""
+        module = cls._instances.get(kernel)
+        if module is None:
+            module = cls(kernel, ring_capacity)
+            cls._instances[kernel] = module
+        return module
+
+    @property
+    def vcpu(self):
+        return self.kernel.vm.vcpu
+
+    # ------------------------------------------------------------------
+    # attach / detach
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        process: Process,
+        kind: OohKind,
+        reverse_map_cache: bool = False,
+    ) -> OohAttachment:
+        """Register a tracked PID (one at a time, like a UIO device)."""
+        if self._attachment is not None and self._attachment.active:
+            raise TrackingError("OoH module already tracking a process")
+        if process.pid not in self.kernel.processes:
+            raise TrackingError(f"unknown pid {process.pid}")
+        if kind is OohKind.SPML:
+            att = self._attach_spml(process, reverse_map_cache)
+        else:
+            att = self._attach_epml(process)
+        self._attachment = att
+        return att
+
+    # -- SPML -------------------------------------------------------------
+    def _attach_spml(
+        self, process: Process, reverse_map_cache: bool
+    ) -> OohAttachment:
+        self.clock.charge(
+            self.costs.params.hc_init_pml_us, World.TRACKER, EV_HC_INIT_PML
+        )
+        ring = self.vcpu.hypercall(hc.HC_OOH_INIT_PML, self.ring_capacity)
+        att = OohAttachment(
+            self, process, OohKind.SPML, ring, reverse_map_cache=reverse_map_cache
+        )
+        self._install_sched_hooks(att)
+        # The tracked process is currently on-CPU: start logging now.
+        self._spml_enable(process)
+        return att
+
+    def _spml_enable(self, process: Process) -> None:
+        self.clock.charge(
+            self.costs.params.enable_logging_us, World.KERNEL, EV_ENABLE_LOGGING
+        )
+        self.vcpu.hypercall(hc.HC_OOH_ENABLE_LOGGING)
+
+    def _spml_disable(self, process: Process) -> None:
+        self.clock.charge(
+            self.costs.params.disable_logging_call_us,
+            World.KERNEL,
+            EV_DISABLE_LOGGING,
+        )
+        self.vcpu.hypercall(hc.HC_OOH_DISABLE_LOGGING)
+
+    def _collect_spml(self, att: OohAttachment) -> np.ndarray:
+        """Flush + drain + reverse-map + re-arm (tracker context)."""
+        # Flush residual PML-buffer entries into the ring and pause.
+        self._spml_disable(att.process)
+        gpas = att.ring.pop_all()
+        stats = CollectStats(
+            n_entries=int(gpas.size), dropped=att.ring.total_dropped
+        )
+        mem_pages = att.process.space.n_pages
+        self.clock.charge(
+            self.costs.rb_copy_us(int(gpas.size), mem_pages),
+            World.TRACKER,
+            EV_RB_COPY,
+            int(gpas.size),
+        )
+        gpas = np.unique(gpas).astype(np.int64)
+        # Reverse mapping parses /proc/PID/pagemap: one userspace page-
+        # table walk (M16, Fig. 3's "PT walk" slice) whenever addresses
+        # must actually be resolved (cache hits skip the parse) ...
+        needs_walk = gpas.size > 0 and (
+            att._rmap_cache is None or bool((att._rmap_cache[gpas] < 0).any())
+        )
+        if needs_walk:
+            self.clock.charge(
+                self.costs.pt_walk_user_us(mem_pages),
+                World.TRACKER,
+                EV_PT_WALK_USER,
+            )
+        # ... plus the per-address search: the SPML bottleneck (M17).
+        if att._rmap_cache is not None:
+            cached = att._rmap_cache[gpas]
+            miss = gpas[cached < 0]
+            # Cache hits cost a table lookup (~ring-copy rate); misses pay
+            # the full pagemap-scan reverse mapping.
+            n_hits = int(gpas.size - miss.size)
+            self.clock.charge(
+                self.costs.rb_copy_us(n_hits, mem_pages),
+                World.TRACKER,
+                "reverse_map_cached",
+                n_hits,
+            )
+            self.clock.charge(
+                self.costs.reverse_map_us(int(miss.size), mem_pages),
+                World.TRACKER,
+                EV_REVERSE_MAP,
+                int(miss.size),
+            )
+            if miss.size:
+                att._rmap_cache[miss] = att.process.space.pt.reverse_lookup(miss)
+            vpns = att._rmap_cache[gpas]
+        else:
+            self.clock.charge(
+                self.costs.reverse_map_us(int(gpas.size), mem_pages),
+                World.TRACKER,
+                EV_REVERSE_MAP,
+                int(gpas.size),
+            )
+            vpns = att.process.space.pt.reverse_lookup(gpas)
+        stats.n_unresolved = int((vpns < 0).sum())
+        vpns = vpns[vpns >= 0]
+        # Re-arm the EPT dirty bits so the next interval re-logs.
+        if gpas.size:
+            self.vcpu.hypercall(hc.HC_OOH_RESET_DIRTY, gpas.astype(np.int64))
+        self._spml_enable(att.process)
+        stats.n_vpns = int(vpns.size)
+        att.last_stats = stats
+        return np.asarray(vpns, dtype=np.int64)
+
+    # -- EPML -------------------------------------------------------------
+    def _attach_epml(self, process: Process) -> OohAttachment:
+        self.clock.charge(
+            self.costs.params.hc_init_pml_shadow_us,
+            World.TRACKER,
+            EV_HC_INIT_PML_SHADOW,
+        )
+        self.vcpu.hypercall(hc.HC_OOH_INIT_PML_SHADOW)
+        # Allocate the guest-level PML buffer (one guest page) and point
+        # the (shadow) VMCS at it; the extended vmwrite translates the
+        # GPA through the EPT.
+        buf_gpfn = int(self.kernel.vm.guest_frames.alloc(1)[0])
+        self._guest_buf_gpfn = buf_gpfn
+        self.vcpu.vmwrite(vmcsf.F_GUEST_PML_ADDRESS, buf_gpfn)
+        self.vcpu.pml.configure_guest_buffer()
+        self.vcpu.pml.on_guest_full = self._on_guest_pml_full
+        if not self._idt_registered:
+            self.kernel.idt.register(VECTOR_OOH_PML_FULL, self._self_ipi_handler)
+            self._idt_registered = True
+        ring = RingBuffer(self.ring_capacity)
+        att = OohAttachment(self, process, OohKind.EPML, ring)
+        self._install_sched_hooks(att)
+        # Arm logging: the guest-level buffer records PTE dirty-bit 0 -> 1
+        # transitions, so init clears the tracked process's dirty bits
+        # (module-owned, no hypervisor involvement; part of the M3/M10
+        # init cost).
+        mapped = process.space.pt.mapped_vpns()
+        if mapped.size:
+            process.space.pt.clear_flags(mapped, PTE_DIRTY)
+        self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
+        return att
+
+    def _on_guest_pml_full(self, entries: np.ndarray) -> None:
+        """Hardware path: buffer full -> posted self-IPI into the guest."""
+        self._pending_guest_entries.append(entries)
+        self.vcpu.interrupts.post(VECTOR_OOH_PML_FULL)
+
+    def _self_ipi_handler(self, vector: int) -> None:
+        """Guest-side handler: copy logged GVAs to the process ring."""
+        att = self._attachment
+        if att is None or not att.active:
+            self._pending_guest_entries.clear()
+            return
+        self.n_self_ipis_handled += 1
+        while self._pending_guest_entries:
+            entries = self._pending_guest_entries.pop(0)
+            self.clock.charge(
+                self.costs.rb_copy_us(int(entries.size), att.process.space.n_pages),
+                World.KERNEL,
+                EV_RB_COPY,
+                int(entries.size),
+            )
+            att.ring.push(entries)
+
+    def _collect_epml(self, att: OohAttachment) -> np.ndarray:
+        """Plain ring drain; re-arm by clearing PTE dirty bits."""
+        # Pull residual entries still in the guest-level PML buffer.
+        residual = self.vcpu.pml.drain_guest()
+        if residual.size:
+            self.clock.charge(
+                self.costs.rb_copy_us(int(residual.size), att.process.space.n_pages),
+                World.KERNEL,
+                EV_RB_COPY,
+                int(residual.size),
+            )
+            att.ring.push(residual)
+        gvas = att.ring.pop_all()
+        stats = CollectStats(
+            n_entries=int(gvas.size), dropped=att.ring.total_dropped
+        )
+        self.clock.charge(
+            self.costs.rb_copy_us(int(gvas.size), att.process.space.n_pages),
+            World.TRACKER,
+            EV_RB_COPY,
+            int(gvas.size),
+        )
+        vpns = np.unique(gvas).astype(np.int64)
+        # Re-arm: the module owns guest PTE dirty bits — no hypervisor.
+        if vpns.size:
+            att.process.space.pt.clear_flags(vpns, PTE_DIRTY)
+            self.clock.charge(
+                self.costs.params.pte_dirty_clear_us * vpns.size,
+                World.TRACKER,
+                "pte_dirty_clear",
+                int(vpns.size),
+            )
+        stats.n_vpns = int(vpns.size)
+        att.last_stats = stats
+        return vpns
+
+    # -- shared -------------------------------------------------------------
+    def _install_sched_hooks(self, att: OohAttachment) -> None:
+        def on_out(proc: Process) -> None:
+            if att.active and proc.pid == att.process.pid:
+                if att.kind is OohKind.SPML:
+                    self._spml_disable(proc)
+                else:
+                    self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+
+        def on_in(proc: Process) -> None:
+            if att.active and proc.pid == att.process.pid:
+                if att.kind is OohKind.SPML:
+                    self._spml_enable(proc)
+                else:
+                    self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
+
+        self.kernel.scheduler.add_sched_out_hook(on_out)
+        self.kernel.scheduler.add_sched_in_hook(on_in)
+        att._hooks = (on_out, on_in)  # type: ignore[attr-defined]
+
+    def _detach(self, att: OohAttachment) -> None:
+        self.kernel.scheduler.remove_hooks(*att._hooks)  # type: ignore[attr-defined]
+        if att.kind is OohKind.SPML:
+            self.clock.charge(
+                self.costs.params.hc_deact_pml_us, World.TRACKER, EV_HC_DEACT_PML
+            )
+            self.vcpu.hypercall(hc.HC_OOH_DEACT_PML)
+        else:
+            self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+            self.clock.charge(
+                self.costs.params.hc_deact_pml_shadow_us,
+                World.TRACKER,
+                EV_HC_DEACT_PML_SHADOW,
+            )
+            self.vcpu.hypercall(hc.HC_OOH_DEACT_PML_SHADOW)
+            if self._guest_buf_gpfn is not None:
+                self.kernel.vm.guest_frames.free([self._guest_buf_gpfn])
+                self._guest_buf_gpfn = None
+        self._attachment = None
+
+
+class OohLib:
+    """The userspace half: what trackers actually call.
+
+    Mirrors the template-code API of the paper's UIO-style library: open
+    the device, register the tracked PID, fetch addresses, close.
+    """
+
+    def __init__(self, module: OohModule) -> None:
+        self.module = module
+        self.clock = module.clock
+        self.costs = module.costs
+
+    def attach(
+        self,
+        process: Process,
+        kind: OohKind,
+        reverse_map_cache: bool = False,
+    ) -> OohAttachment:
+        """ioctl(OOH_INIT) into the module (M3), then module setup."""
+        self.clock.charge(
+            self.costs.params.ioctl_init_pml_us, World.TRACKER, EV_IOCTL_INIT_PML
+        )
+        return self.module.attach(process, kind, reverse_map_cache)
+
+    def fetch(self, attachment: OohAttachment) -> np.ndarray:
+        """Fetch dirty VPNs collected since the last fetch."""
+        return attachment.collect()
+
+    def detach(self, attachment: OohAttachment) -> None:
+        """ioctl(OOH_DEACT) (M4), then module teardown."""
+        self.clock.charge(
+            self.costs.params.ioctl_deact_pml_us, World.TRACKER, EV_IOCTL_DEACT_PML
+        )
+        attachment.detach()
+
+
+OohModule._instances = weakref.WeakKeyDictionary()

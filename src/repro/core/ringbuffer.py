@@ -1,0 +1,109 @@
+"""Shared ring buffer for logged page addresses.
+
+In SPML the hypervisor copies PML-buffer contents into a ring buffer shared
+with the guest OS; in EPML the OoH module copies the guest-level PML buffer
+into a per-process ring buffer shared with the tracker (paper §IV-B).  Both
+are the same structure: a fixed-capacity single-producer / single-consumer
+queue of 64-bit page addresses.
+
+The buffer stores page-frame numbers (not byte addresses) as ``uint64``.
+On overflow it *drops the oldest* entries and counts them, mirroring how a
+real shared ring would lose data if the consumer lags; trackers surface the
+drop count so experiments can verify no loss occurred (evaluation question
+3 in §VI: "to what extent [are they] able to efficiently capture all dirty
+pages?").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO of uint64 page-frame numbers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"ring buffer capacity must be > 0: {capacity}")
+        self._buf = np.zeros(capacity, dtype=np.uint64)
+        self._capacity = capacity
+        self._head = 0  # next read position
+        self._size = 0
+        self.total_pushed = 0
+        self.total_dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def free(self) -> int:
+        return self._capacity - self._size
+
+    # ------------------------------------------------------------------
+    def push(self, pfns: np.ndarray | list[int]) -> int:
+        """Append page-frame numbers; drop oldest entries on overflow.
+
+        Returns the number of entries dropped to make room.
+        """
+        arr = np.asarray(pfns, dtype=np.uint64).ravel()
+        n = len(arr)
+        self.total_pushed += n
+        if n == 0:
+            return 0
+        if n >= self._capacity:
+            # Only the newest `capacity` entries survive.
+            dropped = self._size + (n - self._capacity)
+            self._buf[:] = arr[-self._capacity:]
+            self._head = 0
+            self._size = self._capacity
+            self.total_dropped += dropped
+            return dropped
+        dropped = max(0, n - self.free)
+        if dropped:
+            self._head = (self._head + dropped) % self._capacity
+            self._size -= dropped
+            self.total_dropped += dropped
+        tail = (self._head + self._size) % self._capacity
+        first = min(n, self._capacity - tail)
+        self._buf[tail:tail + first] = arr[:first]
+        if first < n:
+            self._buf[:n - first] = arr[first:]
+        self._size += n
+        return dropped
+
+    def pop_all(self) -> np.ndarray:
+        """Drain the buffer, returning entries in FIFO order."""
+        out = self.peek_all()
+        self._head = (self._head + self._size) % self._capacity
+        self._size = 0
+        return out
+
+    def peek_all(self) -> np.ndarray:
+        """Return entries in FIFO order without consuming them."""
+        if self._size == 0:
+            return np.empty(0, dtype=np.uint64)
+        end = self._head + self._size
+        if end <= self._capacity:
+            return self._buf[self._head:end].copy()
+        first = self._buf[self._head:].copy()
+        second = self._buf[:end - self._capacity].copy()
+        return np.concatenate([first, second])
+
+    def clear(self) -> None:
+        self._head = 0
+        self._size = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RingBuffer(capacity={self._capacity}, size={self._size}, "
+            f"pushed={self.total_pushed}, dropped={self.total_dropped})"
+        )

@@ -1,0 +1,19 @@
+"""Tracking-technique implementations.
+
+Importing this package populates the registry used by
+:func:`repro.core.tracking.make_tracker`.
+"""
+
+from repro.core.techniques.epml import EpmlTracker
+from repro.core.techniques.oracle import OracleTracker
+from repro.core.techniques.proc import ProcTracker
+from repro.core.techniques.spml import SpmlTracker
+from repro.core.techniques.ufd import UfdTracker
+
+__all__ = [
+    "ProcTracker",
+    "UfdTracker",
+    "SpmlTracker",
+    "EpmlTracker",
+    "OracleTracker",
+]

@@ -1,0 +1,54 @@
+"""The oracle technique: perfect dirty information at zero cost.
+
+The paper's estimation methodology (§VI-B) defines *oracle* as "a
+hypothetical technique able to provide all dirty pages with no additional
+cost" (``E(C_oracle) = 0``).  We implement it with the guest kernel's
+zero-cost access-listener hook: every batch's newly-PTE-dirty VPNs are
+recorded without charging the clock.  Runs under the oracle measure a
+workload's *ideal* execution time, the baseline of every overhead figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tracking import DirtyPageTracker, Technique, register_technique
+from repro.guest.process import Process
+from repro.hw.mmu import MmuResult
+from repro.hw.pagetable import PTE_DIRTY
+
+__all__ = ["OracleTracker"]
+
+
+@register_technique
+class OracleTracker(DirtyPageTracker):
+    technique = Technique.ORACLE
+
+    def __init__(self, kernel, process) -> None:
+        super().__init__(kernel, process)
+        self._dirty: set[int] = set()
+        self._listener = self._on_access
+
+    def _on_access(self, process: Process, result: MmuResult) -> None:
+        if process.pid == self.process.pid and result.newly_pte_dirty.size:
+            self._dirty.update(int(v) for v in result.newly_pte_dirty)
+
+    def _do_start(self) -> None:
+        # Arm: the listener sees PTE dirty 0 -> 1 transitions, so clear
+        # the bits (free: the oracle is costless by definition).
+        mapped = self.process.space.pt.mapped_vpns()
+        if mapped.size:
+            self.process.space.pt.clear_flags(mapped, PTE_DIRTY)
+        self.kernel.add_access_listener(self._listener)
+
+    def _do_collect(self) -> np.ndarray:
+        out = np.array(sorted(self._dirty), dtype=np.int64)
+        self._dirty.clear()
+        # Re-arm PTE dirty transitions (free: the oracle is costless).
+        if out.size:
+            self.process.space.pt.clear_flags(out, PTE_DIRTY)
+        return out
+
+    def _do_stop(self) -> None:
+        self.kernel.remove_access_listener(self._listener)
+        self._dirty.clear()

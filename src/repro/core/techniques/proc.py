@@ -1,0 +1,39 @@
+"""The /proc soft-dirty technique (CRIU's and Boehm's stock mechanism).
+
+Initialization: ``echo 4 > /proc/PID/clear_refs`` (M15) — clears soft-dirty
+bits and write-protects PTEs, so every subsequent first write faults into
+the kernel (M5, charged on the fault path).  Collection: parse
+``/proc/PID/pagemap`` (M16) for bit-55 pages, then ``clear_refs`` again to
+re-arm the next interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tracking import DirtyPageTracker, Technique, register_technique
+
+__all__ = ["ProcTracker"]
+
+
+@register_technique
+class ProcTracker(DirtyPageTracker):
+    technique = Technique.PROC
+
+    def _do_start(self) -> None:
+        self.kernel.procfs.clear_refs(self.process)
+
+    def _do_collect(self) -> np.ndarray:
+        dirty = self.kernel.procfs.pagemap_soft_dirty(self.process)
+        self.kernel.procfs.clear_refs(self.process)
+        return dirty
+
+    def _do_stop(self) -> None:
+        # Nothing to tear down: soft-dirty bits simply stop being read.
+        # Leave the PTEs writable again so the process runs untracked.
+        pt = self.process.space.pt
+        mapped = pt.mapped_vpns()
+        from repro.hw.pagetable import PTE_UFD_WP, PTE_WRITABLE
+
+        not_ufd = mapped[~pt.flag_mask(mapped, PTE_UFD_WP)]
+        pt.set_flags(not_ufd, PTE_WRITABLE)

@@ -1,0 +1,119 @@
+"""The dirty-page-tracking API: one interface, five techniques.
+
+Trackers (CRIU, Boehm GC, user code) program against
+:class:`DirtyPageTracker`:
+
+* :meth:`~DirtyPageTracker.start` — the paper's *initialization* phase;
+* the *monitoring* phase is implicit (the tracked workload runs);
+* :meth:`~DirtyPageTracker.collect` — the *collection* phase: VPNs
+  dirtied since the previous collect (or since start);
+* :meth:`~DirtyPageTracker.stop` — teardown.
+
+Technique selection is by :class:`Technique` enum or name via
+:func:`make_tracker`, which is what the benchmark harness sweeps.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import Process
+
+__all__ = ["Technique", "DirtyPageTracker", "make_tracker", "register_technique"]
+
+
+class Technique(enum.Enum):
+    """The tracking techniques the paper compares (§VI)."""
+
+    PROC = "proc"
+    UFD = "ufd"
+    SPML = "spml"
+    EPML = "epml"
+    ORACLE = "oracle"
+
+
+class DirtyPageTracker(abc.ABC):
+    """Track which pages of one process get written."""
+
+    technique: Technique
+
+    def __init__(self, kernel: GuestKernel, process: Process) -> None:
+        self.kernel = kernel
+        self.process = process
+        self._started = False
+        self.n_collections = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Initialization phase (paper Fig. 1)."""
+        if self._started:
+            raise TrackingError(f"{self.technique.value} tracker already started")
+        self._do_start()
+        self._started = True
+
+    def collect(self) -> np.ndarray:
+        """Dirty VPNs since the previous collect; re-arms tracking."""
+        if not self._started:
+            raise TrackingError("collect before start")
+        self.n_collections += 1
+        out = self._do_collect()
+        return np.asarray(out, dtype=np.int64)
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._do_stop()
+        self._started = False
+
+    def __enter__(self) -> "DirtyPageTracker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- hooks ---------------------------------------------------------------
+    @abc.abstractmethod
+    def _do_start(self) -> None: ...
+
+    @abc.abstractmethod
+    def _do_collect(self) -> np.ndarray: ...
+
+    @abc.abstractmethod
+    def _do_stop(self) -> None: ...
+
+
+_REGISTRY: dict[Technique, type[DirtyPageTracker]] = {}
+
+
+def register_technique(cls: type[DirtyPageTracker]) -> type[DirtyPageTracker]:
+    """Class decorator adding a tracker implementation to the registry."""
+    technique = getattr(cls, "technique", None)
+    if not isinstance(technique, Technique):
+        raise TrackingError(f"{cls.__name__} lacks a technique attribute")
+    _REGISTRY[technique] = cls
+    return cls
+
+
+def make_tracker(
+    technique: Technique | str,
+    kernel: GuestKernel,
+    process: Process,
+    **kwargs: object,
+) -> DirtyPageTracker:
+    """Instantiate a tracker for ``technique`` over ``process``."""
+    # Importing the implementations lazily avoids an import cycle and
+    # ensures the registry is populated.
+    from repro.core import techniques as _impls  # noqa: F401
+
+    if isinstance(technique, str):
+        technique = Technique(technique)
+    cls = _REGISTRY.get(technique)
+    if cls is None:
+        raise TrackingError(f"no implementation for {technique}")
+    return cls(kernel, process, **kwargs)

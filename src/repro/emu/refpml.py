@@ -1,0 +1,126 @@
+"""Instruction-level reference model of the PML/EPML datapath.
+
+Processes one access at a time with plain Python data structures — no
+numpy batching, no shared code with :mod:`repro.hw` — so that the
+differential tests in ``tests/integration/test_differential_emulator.py``
+exercise genuinely independent logic, the way the paper's BOCHS build is
+independent of their Xen build.
+
+Semantics modelled (and nothing else):
+
+* guest PTE present/writable/dirty bits; EPT dirty bits;
+* PML: while hypervisor logging is enabled, a write that flips an EPT
+  dirty bit 0 -> 1 appends the GPFN to a ``capacity``-entry buffer whose
+  index counts down from ``capacity - 1``; buffer full => one full event
+  and a drain;
+* EPML: while guest logging is enabled, a write that flips a *PTE* dirty
+  bit 0 -> 1 appends the VPN to the guest-level buffer; full => one
+  self-IPI-style event and a drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RefMachine"]
+
+
+@dataclass
+class _RefBuffer:
+    capacity: int
+    entries: list[int] = field(default_factory=list)
+    drained: list[list[int]] = field(default_factory=list)
+    full_events: int = 0
+
+    @property
+    def index(self) -> int:
+        return self.capacity - 1 - len(self.entries)
+
+    def log(self, value: int) -> None:
+        self.entries.append(value)
+        if len(self.entries) == self.capacity:
+            self.full_events += 1
+            self.drained.append(self.entries)
+            self.entries = []
+
+    def all_logged(self) -> list[int]:
+        out: list[int] = []
+        for chunk in self.drained:
+            out.extend(chunk)
+        out.extend(self.entries)
+        return out
+
+
+class RefMachine:
+    """One process, one vCPU, one EPT — scalar reference semantics."""
+
+    def __init__(self, n_pages: int, capacity: int = 512) -> None:
+        self.n_pages = n_pages
+        self.capacity = capacity
+        # Guest PTE state per VPN.
+        self.present: dict[int, bool] = {}
+        self.writable: dict[int, bool] = {}
+        self.pte_dirty: dict[int, bool] = {}
+        # Identity GVA->GPA mapping (differential tests configure the fast
+        # simulator the same way via allocation order).
+        self.gpfn_of: dict[int, int] = {}
+        self._next_gpfn = 0
+        # EPT dirty bits per GPFN.
+        self.ept_dirty: dict[int, bool] = {}
+        # Logging state.
+        self.hyp_enabled = False
+        self.guest_enabled = False
+        self.hyp_buffer = _RefBuffer(capacity)
+        self.guest_buffer = _RefBuffer(capacity)
+        self.n_minor_faults = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_mapped(self, vpn: int, write: bool) -> None:
+        if not self.present.get(vpn, False):
+            self.present[vpn] = True
+            self.writable[vpn] = write
+            self.pte_dirty[vpn] = False
+            self.gpfn_of[vpn] = self._next_gpfn
+            self._next_gpfn += 1
+            self.n_minor_faults += 1
+        elif write and not self.writable.get(vpn, False):
+            self.writable[vpn] = True  # COW-equivalent resolution
+
+    def access(self, vpn: int, write: bool) -> None:
+        """One load or store to one page."""
+        if not 0 <= vpn < self.n_pages:
+            raise ValueError(f"vpn out of range: {vpn}")
+        self._ensure_mapped(vpn, write)
+        if not write:
+            return
+        # Guest PTE dirty transition -> EPML guest-level log.
+        if not self.pte_dirty[vpn]:
+            self.pte_dirty[vpn] = True
+            if self.guest_enabled:
+                self.guest_buffer.log(vpn)
+        # EPT dirty transition -> hypervisor-level log.
+        gpfn = self.gpfn_of[vpn]
+        if not self.ept_dirty.get(gpfn, False):
+            self.ept_dirty[gpfn] = True
+            if self.hyp_enabled:
+                self.hyp_buffer.log(gpfn)
+
+    # ------------------------------------------------------------------
+    def clear_ept_dirty(self) -> None:
+        self.ept_dirty.clear()
+
+    def clear_pte_dirty(self) -> None:
+        for vpn in self.pte_dirty:
+            self.pte_dirty[vpn] = False
+
+    def drain_guest(self) -> list[int]:
+        out = self.guest_buffer.all_logged()
+        self.guest_buffer.drained.clear()
+        self.guest_buffer.entries.clear()
+        return out
+
+    def drain_hyp(self) -> list[int]:
+        out = self.hyp_buffer.all_logged()
+        self.hyp_buffer.drained.clear()
+        self.hyp_buffer.entries.clear()
+        return out

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the OoH reproduction.
+
+Every error raised by the simulator derives from :class:`ReproError` so
+callers can catch simulator failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors."""
+
+
+class OutOfFramesError(MemoryError_):
+    """The frame allocator has no free physical frames left."""
+
+
+class InvalidAddressError(MemoryError_):
+    """An address is outside the relevant address space."""
+
+
+class ProtectionFault(MemoryError_):
+    """An access violated page protections and no handler resolved it."""
+
+
+class VmcsError(ReproError):
+    """Invalid VMCS access (bad field, wrong CPU mode, no current VMCS)."""
+
+
+class HypercallError(ReproError):
+    """A hypercall was rejected by the hypervisor."""
+
+
+class PmlError(ReproError):
+    """PML circuit misuse (e.g. enabling without a buffer configured)."""
+
+
+class GuestError(ReproError):
+    """Guest kernel error (unknown PID, bad registration, ...)."""
+
+
+class TrackingError(ReproError):
+    """A dirty-page-tracking technique was misused."""
+
+
+class CheckpointError(ReproError):
+    """CRIU-style checkpoint/restore failure."""
+
+
+class GcError(ReproError):
+    """Boehm-style garbage collector failure."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured or driven incorrectly."""

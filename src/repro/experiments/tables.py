@@ -1,0 +1,43 @@
+"""Plain-text rendering of paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "fmt_ms", "fmt_pct", "fmt_x"]
+
+
+def fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:,.1f}"
+
+
+def fmt_pct(pct: float) -> str:
+    return f"{pct:,.0f}"
+
+
+def fmt_x(ratio: float) -> str:
+    return f"{ratio:,.2f}x"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule, like the paper's tables."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,38 @@
+"""Guest interrupt descriptor table.
+
+The paper's only Linux-core change for EPML is an interrupt-table entry
+handling the virtual self-IPI the processor raises when the guest-level
+PML buffer fills (§IV-E, "Linux Core").  This module is that entry: a thin
+registration layer between the guest kernel and the vCPU's interrupt
+controller, kept separate so the OoH module (a loadable module) does not
+touch the controller directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import GuestError
+from repro.hw.cpu import Vcpu
+
+__all__ = ["Idt"]
+
+
+class Idt:
+    """Vector registration for one guest kernel."""
+
+    def __init__(self, vcpu: Vcpu) -> None:
+        self._vcpu = vcpu
+        self._registered: set[int] = set()
+
+    def register(self, vector: int, handler: Callable[[int], None]) -> None:
+        if vector in self._registered:
+            raise GuestError(f"IDT vector {vector:#x} already registered")
+        self._vcpu.interrupts.register(vector, handler)
+        self._registered.add(vector)
+
+    def unregister(self, vector: int) -> None:
+        if vector not in self._registered:
+            raise GuestError(f"IDT vector {vector:#x} not registered")
+        self._vcpu.interrupts.unregister(vector)
+        self._registered.discard(vector)

@@ -1,0 +1,184 @@
+"""The guest kernel: processes, memory management, fault plumbing.
+
+One :class:`GuestKernel` runs inside each :class:`~repro.hypervisor.vm.Vm`.
+It exposes the two entry points workloads drive:
+
+* :meth:`access` — run a page-access batch through the MMU with this
+  process's page table and fault handlers;
+* :meth:`compute` — account CPU time the workload spends *not* touching
+  new pages (its own arithmetic), which also advances the scheduler and
+  thereby generates the context switches that SPML/EPML hook.
+
+It also owns the /proc interface, the IDT, and userfaultfd creation, and
+offers a zero-cost access-listener hook used by the oracle technique.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.calibration import PAGES_PER_MB
+from repro.core.clock import SimClock, World
+from repro.core.costs import EV_COMPUTE, CostModel
+from repro.errors import GuestError
+from repro.guest.faults import ProcessFaultHandler
+from repro.guest.idt import Idt
+from repro.guest.process import AddressSpace, Process, ProcessState
+from repro.guest.procfs import ProcFs
+from repro.guest.scheduler import DEFAULT_SWITCH_INTERVAL_US, Scheduler
+from repro.guest.uffd import UserFaultFd
+from repro.hw.mmu import MmuResult
+from repro.hypervisor.vm import Vm
+
+__all__ = ["GuestKernel"]
+
+AccessListener = Callable[[Process, MmuResult], None]
+
+
+class GuestKernel:
+    """Linux-like kernel for one VM."""
+
+    def __init__(
+        self,
+        vm: Vm,
+        switch_interval_us: float = DEFAULT_SWITCH_INTERVAL_US,
+    ) -> None:
+        self.vm = vm
+        self.clock: SimClock = vm.clock
+        self.costs: CostModel = vm.costs
+        self.procfs = ProcFs(self.clock, self.costs)
+        self.idt = Idt(vm.vcpu)
+        self.scheduler = Scheduler(self.clock, self.costs, switch_interval_us)
+        self.processes: dict[int, Process] = {}
+        self._fault_handlers: dict[int, ProcessFaultHandler] = {}
+        self._access_listeners: list[AccessListener] = []
+        self._next_pid = 1
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        mem_mb: float | None = None,
+        n_pages: int | None = None,
+    ) -> Process:
+        """Create a process with an address space of the given size."""
+        if (mem_mb is None) == (n_pages is None):
+            raise GuestError("specify exactly one of mem_mb / n_pages")
+        pages = n_pages if n_pages is not None else int(round(mem_mb * PAGES_PER_MB))
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(pid=pid, name=name, space=AddressSpace(pages))
+        self.processes[pid] = proc
+        self._fault_handlers[pid] = ProcessFaultHandler(
+            self.clock, self.costs, proc, self.vm.guest_frames
+        )
+        return proc
+
+    def exit_process(self, process: Process) -> None:
+        process.state = ProcessState.DEAD
+        freed = process.space.pt.unmap(process.space.mapped_vpns())
+        if freed.size:
+            self.vm.guest_frames.free(freed)
+        self.processes.pop(process.pid, None)
+        self._fault_handlers.pop(process.pid, None)
+        self.scheduler.reset(process)
+
+    def process_by_pid(self, pid: int) -> Process:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise GuestError(f"no such pid: {pid}") from None
+
+    def fault_handler(self, process: Process) -> ProcessFaultHandler:
+        return self._fault_handlers[process.pid]
+
+    # ------------------------------------------------------------------
+    # execution entry points
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        process: Process,
+        vpns: np.ndarray | list[int],
+        write: np.ndarray | bool,
+    ) -> MmuResult:
+        """Run a page-access batch for ``process``."""
+        if process.state is ProcessState.DEAD:
+            raise GuestError(f"access by dead process {process.pid}")
+        if process.state is ProcessState.STOPPED:
+            raise GuestError(f"access by stopped process {process.pid}")
+        handler = self._fault_handlers[process.pid]
+        result = self.vm.mmu.access(
+            process.space.pt, process.space.tlb, vpns, write, handler
+        )
+        for listener in self._access_listeners:
+            listener(process, result)
+        return result
+
+    def access_subpage(
+        self, process: Process, vpn: int, subpage: int, write: bool = True
+    ) -> bool:
+        """Access one 128-byte sub-page; returns False on an SPP block.
+
+        The page-level walk (faults, dirty bits, PML) happens first; if
+        the VM has sub-page permissions enabled and the write hits a
+        write-protected sub-page, the CPU raises an SPP-induced vmexit
+        and the access does not complete (OoH-SPP, paper §III-D).
+        """
+        from repro.hw.cpu import ExitReason
+
+        spp = self.vm.spp
+        if write and spp is not None:
+            gpfn_arr = process.space.pt.gpfn[vpn:vpn + 1]
+            gpfn = int(gpfn_arr[0]) if gpfn_arr.size and gpfn_arr[0] >= 0 else None
+            if gpfn is None:
+                # Demand-page first so the sub-page check sees a mapping.
+                self.access(process, [vpn], False)
+                gpfn = int(process.space.pt.gpfn[vpn])
+            if not spp.check_write(gpfn, subpage):
+                self.vm.vcpu.vmexit(
+                    ExitReason.SPP_VIOLATION, (process.pid, vpn, subpage)
+                )
+                return False
+        self.access(process, [vpn], write)
+        return True
+
+    def compute(
+        self, process: Process, us: float, world: World = World.TRACKED
+    ) -> None:
+        """Account workload CPU time and drive the scheduler."""
+        if us < 0:
+            raise GuestError(f"negative compute time: {us}")
+        if process.state is ProcessState.DEAD:
+            raise GuestError(f"compute by dead process {process.pid}")
+        self.clock.charge(us, world, EV_COMPUTE)
+        self.scheduler.notify_runtime(process, us)
+
+    # ------------------------------------------------------------------
+    # services
+    # ------------------------------------------------------------------
+    def create_uffd(self, process: Process) -> UserFaultFd:
+        return UserFaultFd(self.clock, self.costs, process)
+
+    def add_access_listener(self, listener: AccessListener) -> None:
+        self._access_listeners.append(listener)
+
+    def remove_access_listener(self, listener: AccessListener) -> None:
+        if listener in self._access_listeners:
+            self._access_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # process control (used by CRIU)
+    # ------------------------------------------------------------------
+    def stop_process(self, process: Process) -> None:
+        if process.state is ProcessState.DEAD:
+            raise GuestError("cannot stop a dead process")
+        process.state = ProcessState.STOPPED
+
+    def resume_process(self, process: Process) -> None:
+        if process.state is not ProcessState.STOPPED:
+            raise GuestError("resume of a process that is not stopped")
+        process.state = ProcessState.RUNNABLE

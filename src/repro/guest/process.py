@@ -1,0 +1,106 @@
+"""Guest processes and address spaces.
+
+A process owns one :class:`AddressSpace`: a dense, VMA-partitioned virtual
+range backed by a guest page table and a TLB.  The tracked workloads of the
+paper allocate one big anonymous region (Listing 1's array, a GC heap, a KV
+store's arena), so address spaces are sized at creation and grown by
+mapping further VMAs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.hw.pagetable import PageTable
+from repro.hw.tlb import Tlb
+
+__all__ = ["Vma", "AddressSpace", "ProcessState", "Process"]
+
+
+@dataclass(frozen=True)
+class Vma:
+    """One virtual memory area: [start_vpn, start_vpn + n_pages)."""
+
+    start_vpn: int
+    n_pages: int
+    name: str = "anon"
+
+    def __post_init__(self) -> None:
+        if self.n_pages <= 0 or self.start_vpn < 0:
+            raise ConfigurationError(f"bad VMA: {self}")
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + self.n_pages
+
+    def vpns(self) -> np.ndarray:
+        return np.arange(self.start_vpn, self.end_vpn, dtype=np.int64)
+
+
+class AddressSpace:
+    """Virtual address space with VMA bookkeeping."""
+
+    def __init__(self, n_pages: int) -> None:
+        self.pt = PageTable(n_pages)
+        self.tlb = Tlb(n_pages)
+        self.vmas: list[Vma] = []
+
+    @property
+    def n_pages(self) -> int:
+        return self.pt.n_pages
+
+    def add_vma(self, n_pages: int, name: str = "anon") -> Vma:
+        """Reserve the next free virtual range (like mmap with addr=NULL)."""
+        start = self.vmas[-1].end_vpn if self.vmas else 0
+        if start + n_pages > self.n_pages:
+            raise InvalidAddressError(
+                f"address space exhausted: need {n_pages} pages at vpn {start}, "
+                f"space has {self.n_pages}"
+            )
+        vma = Vma(start, n_pages, name)
+        self.vmas.append(vma)
+        return vma
+
+    def vma_containing(self, vpn: int) -> Vma:
+        for vma in self.vmas:
+            if vma.start_vpn <= vpn < vma.end_vpn:
+                return vma
+        raise InvalidAddressError(f"VPN {vpn} not in any VMA")
+
+    def mapped_vpns(self) -> np.ndarray:
+        return self.pt.mapped_vpns()
+
+    @property
+    def rss_pages(self) -> int:
+        """Resident pages (present mappings)."""
+        return int(self.mapped_vpns().size)
+
+
+class ProcessState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    STOPPED = "stopped"  # paused (e.g. by CRIU during dump)
+    DEAD = "dead"
+
+
+@dataclass
+class Process:
+    """One guest process."""
+
+    pid: int
+    name: str
+    space: AddressSpace
+    state: ProcessState = ProcessState.RUNNABLE
+    #: Set while a userfaultfd object is registered on this process.
+    uffd: object | None = None
+    #: Monotonic count of schedule-in events (context-switch accounting).
+    n_scheduled_in: int = 0
+    n_scheduled_out: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash(self.pid)

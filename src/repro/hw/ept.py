@@ -1,0 +1,99 @@
+"""Extended Page Table: GPA -> HPA second-level translation.
+
+One :class:`Ept` per VM, owned by the hypervisor.  PML hooks off the EPT
+dirty bit: the CPU logs a GPA exactly when a write causes the EPT dirty
+bit to transition 0 -> 1 (paper §II-B).  The hypervisor clears EPT dirty
+bits when it harvests the PML log (as Xen/KVM do between live-migration
+rounds), which re-arms logging for those pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InvalidAddressError
+
+__all__ = ["EPT_PRESENT", "EPT_WRITABLE", "EPT_ACCESSED", "EPT_DIRTY", "Ept"]
+
+EPT_PRESENT = np.uint16(1 << 0)
+EPT_WRITABLE = np.uint16(1 << 1)
+EPT_ACCESSED = np.uint16(1 << 2)
+EPT_DIRTY = np.uint16(1 << 3)
+
+
+class Ept:
+    """Dense GPFN -> (HPFN, flags) table for one VM."""
+
+    def __init__(self, n_guest_frames: int) -> None:
+        if n_guest_frames <= 0:
+            raise ConfigurationError(f"n_guest_frames must be > 0: {n_guest_frames}")
+        self.n_guest_frames = n_guest_frames
+        self.hpfn = np.full(n_guest_frames, -1, dtype=np.int64)
+        self.flags = np.zeros(n_guest_frames, dtype=np.uint16)
+
+    def _check(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
+        arr = np.asarray(gpfns, dtype=np.int64).ravel()
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n_guest_frames):
+            raise InvalidAddressError("GPFN out of guest physical range")
+        return arr
+
+    def map(
+        self,
+        gpfns: np.ndarray | list[int],
+        hpfns: np.ndarray | list[int],
+        writable: bool = True,
+    ) -> None:
+        g = self._check(gpfns)
+        h = np.asarray(hpfns, dtype=np.int64).ravel()
+        if g.size != h.size:
+            raise ValueError("gpfns and hpfns length mismatch")
+        self.hpfn[g] = h
+        f = EPT_PRESENT
+        if writable:
+            f |= EPT_WRITABLE
+        self.flags[g] = f
+
+    def translate(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
+        g = self._check(gpfns)
+        h = self.hpfn[g]
+        if np.any(h < 0):
+            raise InvalidAddressError("EPT violation: unmapped GPFN")
+        return h.copy()
+
+    # ------------------------------------------------------------------
+    # access/dirty bookkeeping (called by the MMU on each access batch)
+    # ------------------------------------------------------------------
+    def touch(self, gpfns: np.ndarray, write_mask: np.ndarray) -> np.ndarray:
+        """Set A (all) / D (writes) bits; return GPFNs whose D bit went 0->1.
+
+        The returned array is exactly what the PML circuit must log.
+        """
+        g = self._check(gpfns)
+        w = np.asarray(write_mask, dtype=bool).ravel()
+        if g.size != w.size:
+            raise ValueError("gpfns and write_mask length mismatch")
+        self.flags[g] |= EPT_ACCESSED
+        written = g[w]
+        if written.size == 0:
+            return np.empty(0, dtype=np.int64)
+        was_clean = (self.flags[written] & EPT_DIRTY) == 0
+        newly_dirty = written[was_clean]
+        # A page may appear several times in one batch; keep first instance.
+        newly_dirty = np.unique(newly_dirty)
+        self.flags[written] |= EPT_DIRTY
+        return newly_dirty.astype(np.int64)
+
+    def clear_dirty(self, gpfns: np.ndarray | list[int] | None = None) -> int:
+        """Clear D bits (harvest re-arm); returns how many were set."""
+        if gpfns is None:
+            dirty = (self.flags & EPT_DIRTY) != 0
+            n = int(dirty.sum())
+            self.flags &= ~EPT_DIRTY
+            return n
+        g = self._check(gpfns)
+        n = int(((self.flags[g] & EPT_DIRTY) != 0).sum())
+        self.flags[g] &= ~EPT_DIRTY
+        return n
+
+    def dirty_gpfns(self) -> np.ndarray:
+        return np.nonzero((self.flags & EPT_DIRTY) != 0)[0].astype(np.int64)

@@ -1,0 +1,73 @@
+"""Virtual interrupt delivery: event channels and posted interrupts.
+
+Two delivery paths matter to the paper:
+
+* **Virtual interrupts / event channels** (SPML): the hypervisor signals
+  the guest, which costs a vmexit-like transition on real hardware when
+  the guest is running.
+* **Posted interrupts** (EPML): the processor delivers an interrupt
+  directly to a guest in VMX non-root mode *without a vmexit*; EPML uses a
+  posted *self-IPI* to notify the guest that its guest-level PML buffer is
+  full (paper §IV-D).
+
+Delivery is synchronous in the simulator (single timeline): posting an
+interrupt immediately runs the registered handler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.clock import SimClock, World
+from repro.core.costs import EV_SELF_IPI, CostModel
+from repro.errors import ConfigurationError
+
+__all__ = ["VECTOR_OOH_PML_FULL", "InterruptController"]
+
+#: Vector the OoH module registers for the EPML buffer-full self-IPI.
+VECTOR_OOH_PML_FULL = 0xEC
+#: Vector for SPP-violation notifications injected by the hypervisor
+#: (OoH-SPP extension, paper §III-D).
+VECTOR_OOH_SPP_VIOLATION = 0xED
+
+Handler = Callable[[int], None]
+
+
+class InterruptController:
+    """Per-vCPU interrupt routing with posted-interrupt support."""
+
+    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+        self._clock = clock
+        self._costs = costs
+        self._handlers: dict[int, Handler] = {}
+        self.n_posted = 0
+        self.n_virtual = 0
+
+    def register(self, vector: int, handler: Handler) -> None:
+        if not 0 <= vector <= 0xFF:
+            raise ConfigurationError(f"interrupt vector out of range: {vector:#x}")
+        self._handlers[vector] = handler
+
+    def unregister(self, vector: int) -> None:
+        self._handlers.pop(vector, None)
+
+    def post(self, vector: int) -> bool:
+        """Posted-interrupt delivery (no vmexit). Returns handled?"""
+        self.n_posted += 1
+        self._clock.charge(
+            self._costs.params.self_ipi_us, World.KERNEL, EV_SELF_IPI
+        )
+        handler = self._handlers.get(vector)
+        if handler is None:
+            return False
+        handler(vector)
+        return True
+
+    def inject_virtual(self, vector: int) -> bool:
+        """Hypervisor-originated virtual interrupt (event channel)."""
+        self.n_virtual += 1
+        handler = self._handlers.get(vector)
+        if handler is None:
+            return False
+        handler(vector)
+        return True

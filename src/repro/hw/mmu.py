@@ -1,0 +1,181 @@
+"""MMU: batch page walks, fault routing, dirty-bit transitions, PML hooks.
+
+Workloads present *page-access batches* (arrays of VPNs plus a write mask);
+the MMU resolves each batch in vectorised passes:
+
+1. missing pages   -> minor fault (or ufd ``miss`` fault) via the handlers
+2. write-protected -> soft-dirty kernel fault or ufd ``write_protect`` fault
+3. set PTE A/D bits; PTE dirty 0->1 transitions feed EPML's guest-level log
+4. set EPT A/D bits; EPT dirty 0->1 transitions feed PML's hypervisor log
+5. mutate physical frame contents for written pages
+
+Fault *semantics and costs* belong to the guest kernel (the handlers
+object); the MMU only detects, routes, and counts.  This mirrors hardware:
+the MMU raises #PF / EPT violations, software decides what they mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ProtectionFault
+from repro.hw.ept import Ept
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pagetable import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_UFD_WP,
+    PTE_WRITABLE,
+    PageTable,
+)
+from repro.hw.pml import PmlCircuit
+from repro.hw.tlb import Tlb
+
+__all__ = ["FaultHandlers", "MmuResult", "Mmu"]
+
+
+class FaultHandlers(Protocol):
+    """What the guest kernel must provide to resolve faults."""
+
+    def handle_minor_fault(self, vpns: np.ndarray, write_mask: np.ndarray) -> None:
+        """Demand-page missing VPNs (must leave them present).
+
+        ``write_mask`` marks VPNs faulted by a write; read faults should
+        install clean zero-page mappings (not soft-dirty)."""
+
+    def handle_ufd_miss_fault(
+        self, vpns: np.ndarray, write_mask: np.ndarray
+    ) -> np.ndarray:
+        """userfaultfd ``miss`` faults; returns the subset actually handled
+        by ufd (the rest fall back to the kernel minor-fault path).
+        ``write_mask`` marks VPNs faulted by writes (UFFDIO_COPY of real
+        data) versus reads (UFFDIO_ZEROPAGE, not dirty)."""
+
+    def handle_wp_fault(self, vpns: np.ndarray, ufd_mask: np.ndarray) -> None:
+        """Write faults on present, non-writable pages.  ``ufd_mask`` marks
+        the ones registered for ufd write-protect; the rest are soft-dirty
+        faults.  Must leave every page writable."""
+
+
+@dataclass
+class MmuResult:
+    """Per-batch accounting returned by :meth:`Mmu.access`."""
+
+    n_accesses: int = 0
+    n_writes: int = 0
+    n_minor_faults: int = 0
+    n_wp_faults: int = 0
+    n_ufd_faults: int = 0
+    newly_pte_dirty: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    newly_ept_dirty: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+class Mmu:
+    """One MMU per VM; operates on any of its processes' page tables."""
+
+    def __init__(self, ept: Ept, host_mem: PhysicalMemory, pml: PmlCircuit) -> None:
+        self.ept = ept
+        self.host_mem = host_mem
+        self.pml = pml
+
+    def access(
+        self,
+        pt: PageTable,
+        tlb: Tlb,
+        vpns: np.ndarray | list[int],
+        write_mask: np.ndarray | bool,
+        handlers: FaultHandlers,
+    ) -> MmuResult:
+        """Resolve one access batch against ``pt``.
+
+        ``write_mask`` may be a scalar bool (all reads / all writes) or a
+        per-access boolean array.
+        """
+        v = np.asarray(vpns, dtype=np.int64).ravel()
+        if np.isscalar(write_mask) or np.ndim(write_mask) == 0:
+            w = np.full(v.shape, bool(write_mask))
+        else:
+            w = np.asarray(write_mask, dtype=bool).ravel()
+        if v.size != w.size:
+            raise ValueError("vpns and write_mask length mismatch")
+        res = MmuResult(n_accesses=int(v.size), n_writes=int(w.sum()))
+        if v.size == 0:
+            return res
+
+        # -- 1. missing pages -------------------------------------------
+        present = pt.present_mask(v)
+        if not present.all():
+            missing, inv_m = np.unique(v[~present], return_inverse=True)
+            missing_w = np.zeros(missing.shape, dtype=bool)
+            np.logical_or.at(missing_w, inv_m, w[~present])
+            handled_by_ufd = handlers.handle_ufd_miss_fault(missing, missing_w)
+            res.n_ufd_faults += int(len(handled_by_ufd))
+            still = ~np.isin(missing, handled_by_ufd)
+            if still.any():
+                handlers.handle_minor_fault(missing[still], missing_w[still])
+                res.n_minor_faults += int(still.sum())
+            present = pt.present_mask(v)
+            if not present.all():
+                raise ProtectionFault("fault handler left pages unmapped")
+
+        # -- 2. write-protection faults ----------------------------------
+        if w.any():
+            wv = v[w]
+            writable = pt.flag_mask(wv, PTE_WRITABLE)
+            if not writable.all():
+                faulting = np.unique(wv[~writable])
+                ufd_mask = pt.flag_mask(faulting, PTE_UFD_WP)
+                res.n_ufd_faults += int(ufd_mask.sum())
+                res.n_wp_faults += int((~ufd_mask).sum())
+                handlers.handle_wp_fault(faulting, ufd_mask)
+                if not pt.flag_mask(wv, PTE_WRITABLE).all():
+                    raise ProtectionFault("WP fault handler left pages read-only")
+
+        # -- 3. PTE accessed/dirty bits ----------------------------------
+        pt.set_flags(v, PTE_ACCESSED)
+        if w.any():
+            wv_unique = np.unique(v[w])
+            was_clean = ~pt.flag_mask(wv_unique, PTE_DIRTY)
+            res.newly_pte_dirty = wv_unique[was_clean]
+            pt.set_flags(wv_unique, PTE_DIRTY)
+            # EPML guest-level logging: GVAs whose PTE dirty bit was set.
+            self.pml.log_gvas(res.newly_pte_dirty)
+
+        # -- 4. EPT accessed/dirty bits ----------------------------------
+        uniq_v, inv = np.unique(v, return_inverse=True)
+        uniq_w = np.zeros(uniq_v.shape, dtype=bool)
+        np.logical_or.at(uniq_w, inv, w)
+        gpfns = pt.translate(uniq_v)
+        res.newly_ept_dirty = self.ept.touch(gpfns, uniq_w)
+        # Hypervisor-level PML logging: GPAs whose EPT dirty bit was set.
+        self.pml.log_gpas(res.newly_ept_dirty)
+
+        # -- 5. content mutation + TLB -----------------------------------
+        if uniq_w.any():
+            hpfns = self.ept.translate(gpfns[uniq_w])
+            self.host_mem.write(hpfns)
+        tlb.fill(uniq_v)
+        return res
+
+    # ------------------------------------------------------------------
+    def read_page_contents(self, pt: PageTable, vpns: np.ndarray) -> np.ndarray:
+        """Content tokens for present VPNs (checkpoint dump path)."""
+        gpfns = pt.translate(vpns)
+        hpfns = self.ept.translate(gpfns)
+        return self.host_mem.read(hpfns)
+
+    def write_page_contents(
+        self, pt: PageTable, vpns: np.ndarray, tokens: np.ndarray
+    ) -> None:
+        """Store content tokens into present VPNs (restore path)."""
+        gpfns = pt.translate(vpns)
+        hpfns = self.ept.translate(gpfns)
+        self.host_mem.store(hpfns, tokens)

@@ -1,0 +1,93 @@
+"""Intel SPP (Sub-Page write Permission) — the paper's stated next OoH
+target (§III-D).
+
+SPP refines EPT write permission from 4 KiB pages to 128-byte sub-pages:
+an SPP-enabled EPT page carries a 32-bit write-permission vector (bit i
+covers bytes ``[128*i, 128*(i+1))``).  A write to a write-protected
+sub-page raises an *SPP-induced vmexit*.
+
+The paper's motivation: secure heap allocators detect overflows
+synchronously with guard *pages*, wasting 4 KiB per allocation; OoH-SPP
+lets the guest allocator use 128-byte guard *sub-pages* instead, cutting
+the waste by the 32 sub-pages per page (§III-D: "reduce that overhead by
+a factor of 32").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InvalidAddressError
+
+__all__ = ["SUBPAGES_PER_PAGE", "SUBPAGE_BYTES", "SppTable"]
+
+SUBPAGES_PER_PAGE = 32
+SUBPAGE_BYTES = 128
+
+#: All sub-pages writable.
+FULL_WRITE = np.uint32(0xFFFFFFFF)
+
+
+class SppTable:
+    """Per-VM sub-page permission table (the SPPTP-referenced structure).
+
+    Pages absent from the table fall back to ordinary EPT permissions;
+    registering a page makes its 32-bit write vector authoritative.
+    """
+
+    def __init__(self, n_guest_frames: int) -> None:
+        if n_guest_frames <= 0:
+            raise ConfigurationError(
+                f"n_guest_frames must be > 0: {n_guest_frames}"
+            )
+        self.n_guest_frames = n_guest_frames
+        self._vectors: dict[int, np.uint32] = {}
+        self.n_violations = 0
+
+    # ------------------------------------------------------------------
+    def _check(self, gpfn: int) -> int:
+        gpfn = int(gpfn)
+        if not 0 <= gpfn < self.n_guest_frames:
+            raise InvalidAddressError(f"GPFN out of range: {gpfn}")
+        return gpfn
+
+    def protect(self, gpfn: int, write_vector: int) -> None:
+        """Install a 32-bit sub-page write-permission vector."""
+        gpfn = self._check(gpfn)
+        self._vectors[gpfn] = np.uint32(write_vector & 0xFFFFFFFF)
+
+    def unprotect(self, gpfn: int) -> None:
+        self._vectors.pop(self._check(gpfn), None)
+
+    def is_protected(self, gpfn: int) -> bool:
+        return self._check(gpfn) in self._vectors
+
+    def vector(self, gpfn: int) -> int | None:
+        return self._vectors.get(self._check(gpfn))
+
+    # ------------------------------------------------------------------
+    def check_write(self, gpfn: int, subpage: int) -> bool:
+        """True if a write to ``subpage`` of ``gpfn`` is permitted.
+
+        Counts a violation when it is not (the CPU would raise an
+        SPP-induced vmexit).
+        """
+        if not 0 <= subpage < SUBPAGES_PER_PAGE:
+            raise InvalidAddressError(f"sub-page index out of range: {subpage}")
+        vec = self._vectors.get(self._check(gpfn))
+        if vec is None:
+            return True  # ordinary EPT permissions apply
+        allowed = bool((int(vec) >> subpage) & 1)
+        if not allowed:
+            self.n_violations += 1
+        return allowed
+
+    @staticmethod
+    def vector_allowing(subpages: np.ndarray | list[int]) -> int:
+        """Build a write vector permitting exactly the given sub-pages."""
+        vec = 0
+        for s in np.asarray(subpages, dtype=np.int64).ravel():
+            if not 0 <= s < SUBPAGES_PER_PAGE:
+                raise InvalidAddressError(f"sub-page index out of range: {s}")
+            vec |= 1 << int(s)
+        return vec

@@ -1,0 +1,45 @@
+"""TLB model.
+
+The simulator is functional, not cycle-accurate, so the TLB's role is
+bookkeeping: soft-dirty tracking is only correct if ``clear_refs`` flushes
+cached translations (otherwise writes through stale writable entries would
+escape tracking — the real-Linux bug class the flush exists to prevent).
+We model a per-address-space set of cached VPNs so tests can assert the
+flush discipline, and we count flushes so the cost model can charge them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """Cached-translation bitmap for one address space."""
+
+    def __init__(self, n_pages: int) -> None:
+        self._cached = np.zeros(n_pages, dtype=bool)
+        self.n_flushes = 0
+        self.n_fills = 0
+
+    def fill(self, vpns: np.ndarray) -> None:
+        v = np.asarray(vpns, dtype=np.int64).ravel()
+        self._cached[v] = True
+        self.n_fills += int(v.size)
+
+    def cached_mask(self, vpns: np.ndarray) -> np.ndarray:
+        v = np.asarray(vpns, dtype=np.int64).ravel()
+        return self._cached[v].copy()
+
+    def invalidate(self, vpns: np.ndarray) -> None:
+        v = np.asarray(vpns, dtype=np.int64).ravel()
+        self._cached[v] = False
+
+    def flush(self) -> None:
+        self._cached[:] = False
+        self.n_flushes += 1
+
+    @property
+    def n_cached(self) -> int:
+        return int(self._cached.sum())

@@ -1,0 +1,124 @@
+"""Virtual Machine Control Structure (VMCS) with shadowing.
+
+Fields modelled are the ones the paper's mechanisms need (§II, §IV-D):
+
+* ``PML_ADDRESS`` / ``PML_INDEX`` — hypervisor-level PML buffer (original
+  Intel PML; index starts at 511 and counts down).
+* ``GUEST_PML_ADDRESS`` / ``GUEST_PML_INDEX`` — the EPML hardware
+  extension: a second, guest-managed PML buffer.
+* Execution controls enabling PML, VMCS shadowing, and (EPML) guest-level
+  PML.
+* ``VMCS_LINK_POINTER`` — an ordinary VMCS pointing at its shadow VMCS.
+
+VMCS shadowing: when the ``ENABLE_VMCS_SHADOWING`` control is set and a
+field is present in the vmread/vmwrite shadow bitmaps, a guest in VMX
+non-root mode may vmread/vmwrite that field *without a vmexit*, operating
+on the linked shadow VMCS.  The mode/permission enforcement lives in
+:class:`repro.hw.cpu.Vcpu`; this module is the data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import VmcsError
+
+__all__ = [
+    "F_PML_ADDRESS",
+    "F_PML_INDEX",
+    "F_GUEST_PML_ADDRESS",
+    "F_GUEST_PML_INDEX",
+    "F_CTRL_ENABLE_PML",
+    "F_CTRL_ENABLE_VMCS_SHADOWING",
+    "F_CTRL_ENABLE_GUEST_PML",
+    "F_VMCS_LINK_POINTER",
+    "PML_INDEX_START",
+    "Vmcs",
+]
+
+F_PML_ADDRESS = "pml_address"
+F_PML_INDEX = "pml_index"
+F_GUEST_PML_ADDRESS = "guest_pml_address"  # EPML hardware extension
+F_GUEST_PML_INDEX = "guest_pml_index"  # EPML hardware extension
+F_CTRL_ENABLE_PML = "ctrl_enable_pml"
+F_CTRL_ENABLE_VMCS_SHADOWING = "ctrl_enable_vmcs_shadowing"
+F_CTRL_ENABLE_GUEST_PML = "ctrl_enable_guest_pml"  # EPML hardware extension
+F_VMCS_LINK_POINTER = "vmcs_link_pointer"
+
+_ALL_FIELDS = frozenset(
+    {
+        F_PML_ADDRESS,
+        F_PML_INDEX,
+        F_GUEST_PML_ADDRESS,
+        F_GUEST_PML_INDEX,
+        F_CTRL_ENABLE_PML,
+        F_CTRL_ENABLE_VMCS_SHADOWING,
+        F_CTRL_ENABLE_GUEST_PML,
+        F_VMCS_LINK_POINTER,
+    }
+)
+
+#: PML index starts at 511 and decrements (paper §II-B).
+PML_INDEX_START = 511
+
+
+@dataclass
+class Vmcs:
+    """One VMCS: a field store, optionally linked to a shadow VMCS."""
+
+    name: str = "vmcs"
+    is_shadow: bool = False
+    _fields: dict[str, int] = dc_field(default_factory=dict)
+    #: Fields the guest may vmread in non-root mode (shadow bitmaps).
+    shadow_read_fields: set[str] = dc_field(default_factory=set)
+    #: Fields the guest may vmwrite in non-root mode (shadow bitmaps).
+    shadow_write_fields: set[str] = dc_field(default_factory=set)
+    #: The shadow VMCS this ordinary VMCS links to (None if unlinked).
+    link: "Vmcs | None" = None
+
+    def __post_init__(self) -> None:
+        self._fields.setdefault(F_PML_INDEX, PML_INDEX_START)
+        self._fields.setdefault(F_GUEST_PML_INDEX, PML_INDEX_START)
+        self._fields.setdefault(F_CTRL_ENABLE_PML, 0)
+        self._fields.setdefault(F_CTRL_ENABLE_VMCS_SHADOWING, 0)
+        self._fields.setdefault(F_CTRL_ENABLE_GUEST_PML, 0)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_field(field_name: str) -> None:
+        if field_name not in _ALL_FIELDS:
+            raise VmcsError(f"unknown VMCS field: {field_name!r}")
+
+    def read(self, field_name: str) -> int:
+        self._check_field(field_name)
+        return int(self._fields.get(field_name, 0))
+
+    def write(self, field_name: str, value: int) -> None:
+        self._check_field(field_name)
+        self._fields[field_name] = int(value)
+
+    # ------------------------------------------------------------------
+    def link_shadow(self, shadow: "Vmcs") -> None:
+        """Make this (ordinary) VMCS point at a shadow VMCS."""
+        if self.is_shadow:
+            raise VmcsError("a shadow VMCS cannot itself link a shadow")
+        if not shadow.is_shadow:
+            raise VmcsError("link target must be a shadow VMCS")
+        self.link = shadow
+        self._fields[F_VMCS_LINK_POINTER] = id(shadow)
+
+    def shadowing_enabled(self) -> bool:
+        return bool(self._fields.get(F_CTRL_ENABLE_VMCS_SHADOWING, 0)) and (
+            self.link is not None
+        )
+
+    def expose_to_guest(
+        self, fields: set[str], *, readable: bool = True, writable: bool = True
+    ) -> None:
+        """Configure the shadow vmread/vmwrite bitmaps for these fields."""
+        for f in fields:
+            self._check_field(f)
+        if readable:
+            self.shadow_read_fields |= fields
+        if writable:
+            self.shadow_write_fields |= fields

@@ -1,0 +1,81 @@
+"""A virtual machine (domain): guest memory, EPT, vCPU, MMU.
+
+The evaluation setup gives each VM one dedicated vCPU (paper §VI-A), so a
+:class:`Vm` holds exactly one :class:`~repro.hw.cpu.Vcpu`.  The hypervisor
+populates guest physical memory eagerly at creation (host frames are
+allocated and EPT-mapped up front), which matches the experiments: the VM's
+RAM is fixed and the interesting dynamics are all *inside* the guest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import PAGES_PER_MB
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.ringbuffer import RingBuffer
+from repro.errors import ConfigurationError
+from repro.hw.cpu import Vcpu
+from repro.hw.ept import Ept
+from repro.hw.memory import FrameAllocator, PhysicalMemory
+from repro.hw.mmu import Mmu
+
+__all__ = ["Vm"]
+
+
+@dataclass
+class Vm:
+    """One guest domain."""
+
+    name: str
+    mem_pages: int
+    host_mem: PhysicalMemory
+    clock: SimClock
+    costs: CostModel
+    pml_buffer_entries: int = 512
+    vcpu: Vcpu = field(init=False)
+    ept: Ept = field(init=False)
+    mmu: Mmu = field(init=False)
+    #: GPFN allocator handed to the guest kernel.
+    guest_frames: FrameAllocator = field(init=False)
+    #: SPML: ring buffer shared hypervisor <-> guest (GPAs).  Allocated by
+    #: the HC_OOH_INIT_PML hypercall.
+    spml_ring: RingBuffer | None = None
+    #: Coordination flags (paper §IV-C item 3).
+    enabled_by_guest: bool = False
+    enabled_by_hyp: bool = False
+    #: Hypervisor-side dirty log for its own PML use (live migration).
+    hyp_dirty_log: list[np.ndarray] = field(default_factory=list)
+    #: Sub-page permission table (OoH-SPP); created by HC_OOH_SPP_INIT.
+    spp: object | None = None
+    #: Most recent SPP violation record: (pid, vpn, subpage).
+    last_spp_violation: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.mem_pages <= 0:
+            raise ConfigurationError(f"mem_pages must be > 0: {self.mem_pages}")
+        hpfns = self.host_mem.alloc(self.mem_pages)
+        self.ept = Ept(self.mem_pages)
+        self.ept.map(np.arange(self.mem_pages), hpfns)
+        self.vcpu = Vcpu(
+            0, self.clock, self.costs, pml_capacity=self.pml_buffer_entries
+        )
+        self.vcpu.ept = self.ept
+        self.mmu = Mmu(self.ept, self.host_mem, self.vcpu.pml)
+        self.guest_frames = FrameAllocator(self.mem_pages)
+
+    @classmethod
+    def mb(cls, mem_mb: float) -> int:
+        """Helper: memory size in MiB to pages."""
+        return int(round(mem_mb * PAGES_PER_MB))
+
+    def drain_hyp_dirty_log(self) -> np.ndarray:
+        """Collect and clear the hypervisor-side dirty GPA log."""
+        if not self.hyp_dirty_log:
+            return np.empty(0, dtype=np.uint64)
+        out = np.concatenate(self.hyp_dirty_log)
+        self.hyp_dirty_log.clear()
+        return out

@@ -1,0 +1,1 @@
+"""Tracker systems built on dirty-page tracking: CRIU and Boehm GC."""

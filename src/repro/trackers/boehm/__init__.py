@@ -1,0 +1,15 @@
+"""Boehm-style garbage collector with dirty-page-driven minor cycles."""
+
+from repro.trackers.boehm.gc import BoehmGc, GcCycleReport, GcParams
+from repro.trackers.boehm.heap import GcHeap
+from repro.trackers.boehm.incremental import MarkResult, full_mark, minor_mark
+
+__all__ = [
+    "BoehmGc",
+    "GcCycleReport",
+    "GcParams",
+    "GcHeap",
+    "MarkResult",
+    "full_mark",
+    "minor_mark",
+]

@@ -1,0 +1,379 @@
+"""GC heap: object allocation on the simulated address space.
+
+A Boehm-style conservative collector manages a heap VMA inside the tracked
+process.  Objects live in an id-indexed numpy store (page, size,
+liveness, generation); references are an append-only edge list compacted
+at full collections.  Allocation bump-packs objects into pages per size
+class and *writes* those pages through the guest kernel — which is what
+the dirty-page-tracking techniques observe.
+
+Ids are reused through a free list so long allocation-heavy runs
+(GCBench's tree torture) stay bounded by the live set, not the allocation
+count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import PAGE_SIZE
+from repro.errors import GcError
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import Process, Vma
+
+__all__ = ["GcHeap"]
+
+GEN_YOUNG = 0
+GEN_OLD = 1
+
+
+class GcHeap:
+    """Object heap on one process."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        process: Process,
+        heap_pages: int,
+        alloc_us_per_obj: float = 0.05,
+    ) -> None:
+        if heap_pages <= 0:
+            raise GcError(f"heap_pages must be > 0: {heap_pages}")
+        self.kernel = kernel
+        self.process = process
+        self.vma: Vma = process.space.add_vma(heap_pages, "gc-heap")
+        self.alloc_us_per_obj = alloc_us_per_obj
+
+        cap = 1024
+        self.obj_page = np.full(cap, -1, dtype=np.int64)  # absolute VPN
+        self.obj_size = np.zeros(cap, dtype=np.int32)
+        self.obj_span = np.zeros(cap, dtype=np.int32)  # pages per object
+        self.alive = np.zeros(cap, dtype=bool)
+        self.gen = np.zeros(cap, dtype=np.uint8)
+        self._n_ids = 0
+        self._free_ids: list[np.ndarray] = []
+
+        # Edges: append-only chunks, compacted at full collections.
+        self._edge_src: list[np.ndarray] = []
+        self._edge_dst: list[np.ndarray] = []
+        self.n_edges = 0
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._csr_edges = -1
+
+        # Per-size-class bump state: size -> (vpn, slots_used).
+        self._bump: dict[int, tuple[int, int]] = {}
+        self._next_heap_vpn = self.vma.start_vpn
+        self._free_pages: list[int] = []
+        self.page_live = np.zeros(process.space.n_pages, dtype=np.int32)
+
+        self.roots: set[int] = set()
+        self.allocated_bytes_since_gc = 0
+        self.total_allocated_objects = 0
+
+        # Page -> objects index, rebuilt lazily.
+        self._page_index: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # id management
+    # ------------------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        cap = len(self.obj_page)
+        if self._n_ids + need <= cap:
+            return
+        new_cap = max(cap * 2, self._n_ids + need)
+        for name in ("obj_page", "obj_size", "obj_span", "alive", "gen"):
+            old = getattr(self, name)
+            new = np.zeros(new_cap, dtype=old.dtype)
+            if name == "obj_page":
+                new[:] = -1
+            new[: len(old)] = old
+            setattr(self, name, new)
+
+    def _take_ids(self, n: int) -> np.ndarray:
+        ids = np.empty(n, dtype=np.int64)
+        got = 0
+        while got < n and self._free_ids:
+            chunk = self._free_ids[-1]
+            take = min(len(chunk), n - got)
+            ids[got:got + take] = chunk[-take:]
+            if take == len(chunk):
+                self._free_ids.pop()
+            else:
+                self._free_ids[-1] = chunk[:-take]
+            got += take
+        fresh = n - got
+        if fresh:
+            self._grow(fresh)
+            ids[got:] = np.arange(self._n_ids, self._n_ids + fresh)
+            self._n_ids += fresh
+        return ids
+
+    # ------------------------------------------------------------------
+    # page management
+    # ------------------------------------------------------------------
+    def _take_pages(self, n: int) -> np.ndarray:
+        pages = np.empty(n, dtype=np.int64)
+        got = 0
+        while got < n and self._free_pages:
+            pages[got] = self._free_pages.pop()
+            got += 1
+        fresh = n - got
+        if fresh:
+            if self._next_heap_vpn + fresh > self.vma.end_vpn:
+                raise GcError(
+                    f"GC heap exhausted: need {fresh} pages, "
+                    f"{self.vma.end_vpn - self._next_heap_vpn} left"
+                )
+            pages[got:] = np.arange(
+                self._next_heap_vpn, self._next_heap_vpn + fresh
+            )
+            self._next_heap_vpn += fresh
+        return pages
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, n: int, size_bytes: int) -> np.ndarray:
+        """Allocate ``n`` objects of ``size_bytes`` each; returns ids.
+
+        Touches (writes) the backing pages through the guest kernel and
+        charges the application's allocation work as tracked compute.
+        """
+        if n <= 0:
+            raise GcError(f"alloc count must be > 0: {n}")
+        if size_bytes <= 0:
+            raise GcError(f"object size must be > 0: {size_bytes}")
+        per_page = max(1, PAGE_SIZE // size_bytes)
+        span = max(1, -(-size_bytes // PAGE_SIZE))  # pages per big object
+
+        ids = self._take_ids(n)
+        if span > 1:
+            # Large objects: span whole pages; record the first page.
+            pages = self._take_pages(n * span)
+            first = pages[::span] if span > 1 else pages
+            self.obj_page[ids] = first
+            touched = pages
+            np.add.at(self.page_live, pages, 1)
+        else:
+            # Small objects: bump-pack into per-class pages.
+            vpn, used = self._bump.get(size_bytes, (-1, per_page))
+            slots_in_cur = per_page - used if vpn >= 0 else 0
+            take_cur = min(n, slots_in_cur)
+            n_rest = n - take_cur
+            fresh_pages = self._take_pages(-(-n_rest // per_page)) if n_rest else \
+                np.empty(0, dtype=np.int64)
+            pages_assign = np.empty(n, dtype=np.int64)
+            if take_cur:
+                pages_assign[:take_cur] = vpn
+            if n_rest:
+                pages_assign[take_cur:] = fresh_pages[
+                    np.arange(n_rest) // per_page
+                ]
+            self.obj_page[ids] = pages_assign
+            np.add.at(self.page_live, pages_assign, 1)
+            # Update bump state.
+            if n_rest:
+                used_last = n_rest - (len(fresh_pages) - 1) * per_page
+                self._bump[size_bytes] = (int(fresh_pages[-1]), used_last)
+            else:
+                self._bump[size_bytes] = (vpn, used + take_cur)
+            touched = np.unique(pages_assign)
+
+        self.obj_size[ids] = size_bytes
+        self.obj_span[ids] = span
+        self.alive[ids] = True
+        self.gen[ids] = GEN_YOUNG
+        self.allocated_bytes_since_gc += n * size_bytes
+        self.total_allocated_objects += n
+        self._page_index = None
+
+        # The allocator writes headers/contents: dirty pages.
+        self.kernel.access(self.process, touched, True)
+        self.kernel.compute(self.process, n * self.alloc_us_per_obj)
+        return ids
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_refs(self, src: np.ndarray | list[int], dst: np.ndarray | list[int]) -> None:
+        """Store references src[i] -> dst[i]; writes the source pages."""
+        s = np.asarray(src, dtype=np.int64).ravel()
+        d = np.asarray(dst, dtype=np.int64).ravel()
+        if s.size != d.size:
+            raise GcError("set_refs length mismatch")
+        if s.size == 0:
+            return
+        if not (self.alive[s].all() and self.alive[d].all()):
+            raise GcError("set_refs on a dead object")
+        self._edge_src.append(s.copy())
+        self._edge_dst.append(d.copy())
+        self.n_edges += int(s.size)
+        self._csr = None if self._csr_edges != self.n_edges else self._csr
+        self.kernel.access(self.process, np.unique(self.obj_page[s]), True)
+
+    def replace_ref(self, src: int, old_dst: int, new_dst: int | None) -> None:
+        """Overwrite a pointer cell: drop src -> old_dst, optionally add
+        src -> new_dst.  Writes the source page (pointers are data)."""
+        src, old_dst = int(src), int(old_dst)
+        if not self.alive[src]:
+            raise GcError("replace_ref on a dead source")
+        found = False
+        for k in range(len(self._edge_src)):
+            s, d = self._edge_src[k], self._edge_dst[k]
+            hit = np.nonzero((s == src) & (d == old_dst))[0]
+            if hit.size:
+                keep = np.ones(s.shape, dtype=bool)
+                keep[hit[0]] = False
+                self._edge_src[k] = s[keep]
+                self._edge_dst[k] = d[keep]
+                self.n_edges -= 1
+                self._csr = None
+                self._csr_edges = -1
+                found = True
+                break
+        if not found:
+            raise GcError(f"no edge {src} -> {old_dst} to replace")
+        if new_dst is not None:
+            self.set_refs([src], [int(new_dst)])
+        else:
+            self.kernel.access(self.process, self.obj_page[src:src + 1], True)
+
+    def write_objs(self, ids: np.ndarray | list[int]) -> None:
+        """Mutate object payloads (no reference change)."""
+        i = np.asarray(ids, dtype=np.int64).ravel()
+        if i.size == 0:
+            return
+        if not self.alive[i].all():
+            raise GcError("write to a dead object")
+        self.kernel.access(self.process, np.unique(self.obj_page[i]), True)
+
+    def read_objs(self, ids: np.ndarray | list[int]) -> None:
+        i = np.asarray(ids, dtype=np.int64).ravel()
+        if i.size == 0:
+            return
+        self.kernel.access(self.process, np.unique(self.obj_page[i]), False)
+
+    # ------------------------------------------------------------------
+    # roots
+    # ------------------------------------------------------------------
+    def add_roots(self, ids: np.ndarray | list[int]) -> None:
+        for i in np.asarray(ids, dtype=np.int64).ravel():
+            if not self.alive[i]:
+                raise GcError(f"root {i} is dead")
+            self.roots.add(int(i))
+
+    def remove_roots(self, ids: np.ndarray | list[int]) -> None:
+        for i in np.asarray(ids, dtype=np.int64).ravel():
+            self.roots.discard(int(i))
+
+    # ------------------------------------------------------------------
+    # queries used by the collector
+    # ------------------------------------------------------------------
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, dst) adjacency over all live edges."""
+        if self._csr is not None and self._csr_edges == self.n_edges:
+            return self._csr
+        if self.n_edges == 0:
+            indptr = np.zeros(self._n_ids + 1, dtype=np.int64)
+            self._csr = (indptr, np.empty(0, dtype=np.int64))
+        else:
+            src = np.concatenate(self._edge_src)
+            dst = np.concatenate(self._edge_dst)
+            order = np.argsort(src, kind="stable")
+            counts = np.bincount(src, minlength=self._n_ids)
+            indptr = np.zeros(self._n_ids + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._csr = (indptr, dst[order])
+        self._csr_edges = self.n_edges
+        return self._csr
+
+    def out_neighbors(self, ids: np.ndarray) -> np.ndarray:
+        indptr, dst = self.csr()
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = indptr[ids]
+        ends = indptr[ids + 1]
+        lens = ends - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Gather ranges [starts[i], ends[i]) vectorised.
+        offsets = np.repeat(starts + lens - lens.cumsum(), lens) + np.arange(total)
+        return dst[offsets]
+
+    def objects_on_pages(self, vpns: np.ndarray) -> np.ndarray:
+        """Live object ids residing on the given pages."""
+        if vpns.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._page_index is None:
+            live = np.nonzero(self.alive[: self._n_ids])[0]
+            order = np.argsort(self.obj_page[live], kind="stable")
+            self._page_index = (self.obj_page[live][order], live[order])
+        sorted_pages, sorted_ids = self._page_index
+        lo = np.searchsorted(sorted_pages, vpns, "left")
+        hi = np.searchsorted(sorted_pages, vpns, "right")
+        lens = hi - lo
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = np.repeat(lo + lens - lens.cumsum(), lens) + np.arange(total)
+        return sorted_ids[offsets]
+
+    def live_ids(self) -> np.ndarray:
+        return np.nonzero(self.alive[: self._n_ids])[0]
+
+    @property
+    def n_live(self) -> int:
+        return int(self.alive[: self._n_ids].sum())
+
+    # ------------------------------------------------------------------
+    # reclamation (called by the collector)
+    # ------------------------------------------------------------------
+    def free_objects(self, ids: np.ndarray) -> int:
+        """Free objects; release fully-dead pages back to the heap."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return 0
+        if not self.alive[ids].all():
+            raise GcError("double free of GC object")
+        spans = self.obj_span[ids]
+        first = self.obj_page[ids]
+        total = int(spans.sum())
+        # Expand [first_i, first_i + span_i) ranges (span is 1 for small
+        # objects, so this is usually the identity).
+        pages = np.repeat(first + spans - spans.cumsum(), spans) + np.arange(total)
+        self.alive[ids] = False
+        self.obj_page[ids] = -1
+        np.add.at(self.page_live, pages, -1)
+        self._free_ids.append(ids.copy())
+        self._page_index = None
+        # Pages with no live objects: unmap + reuse.
+        candidates = np.unique(pages)
+        empty = candidates[self.page_live[candidates] == 0]
+        if empty.size:
+            # Drop bump pointers into freed pages.
+            self._bump = {
+                s: (v, u) for s, (v, u) in self._bump.items() if v not in set(
+                    int(p) for p in empty
+                )
+            }
+            present = self.process.space.pt.present_mask(empty)
+            to_unmap = empty[present]
+            if to_unmap.size:
+                freed_gpfns = self.process.space.pt.unmap(to_unmap)
+                self.kernel.vm.guest_frames.free(freed_gpfns)
+            self._free_pages.extend(int(p) for p in empty)
+        return int(ids.size)
+
+    def compact_edges(self) -> None:
+        """Drop edges whose source is dead (run at full collections)."""
+        if self.n_edges == 0:
+            return
+        src = np.concatenate(self._edge_src)
+        dst = np.concatenate(self._edge_dst)
+        keep = self.alive[src] & self.alive[dst]
+        self._edge_src = [src[keep]]
+        self._edge_dst = [dst[keep]]
+        self.n_edges = int(keep.sum())
+        self._csr = None
+        self._csr_edges = -1

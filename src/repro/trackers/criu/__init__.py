@@ -1,0 +1,23 @@
+"""CRIU-style checkpoint/restore built on dirty-page tracking."""
+
+from repro.trackers.criu.checkpoint import Criu, CriuPhaseTimes, CriuReport, CriuSession
+from repro.trackers.criu.images import CheckpointImage, MemoryImage, VmaRecord
+from repro.trackers.criu.predump import PredumpReport, iterative_predump
+from repro.trackers.criu.restore import restore
+
+__all__ = [
+    "Criu",
+    "CriuPhaseTimes",
+    "CriuReport",
+    "CriuSession",
+    "CheckpointImage",
+    "MemoryImage",
+    "VmaRecord",
+    "PredumpReport",
+    "iterative_predump",
+    "restore",
+]
+
+from repro.trackers.criu.lazy import LazyRestoredProcess, LazyRestoreStats, lazy_restore
+
+__all__ += ["LazyRestoredProcess", "LazyRestoreStats", "lazy_restore"]

@@ -1,0 +1,101 @@
+"""Iterative pre-dump: converge the dirty set before the final freeze.
+
+CRIU's ``pre-dump`` repeats dump rounds while the application runs until
+the per-round dirty set stops shrinking (or a round budget is exhausted),
+minimising final-freeze downtime — same loop shape as live-migration
+pre-copy, but driven by a userspace dirty-tracking technique instead of
+hypervisor PML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.clock import World
+from repro.core.costs import EV_DISK_WRITE
+from repro.core.tracking import Technique, make_tracker
+from repro.errors import CheckpointError
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import Process
+from repro.trackers.criu.images import CheckpointImage
+
+__all__ = ["PredumpReport", "iterative_predump"]
+
+
+@dataclass
+class PredumpReport:
+    technique: Technique
+    rounds: int = 0
+    pages_per_round: list[int] = field(default_factory=list)
+    downtime_us: float = 0.0
+    total_us: float = 0.0
+    converged: bool = False
+
+
+def iterative_predump(
+    kernel: GuestKernel,
+    process: Process,
+    technique: Technique | str,
+    run_round: Callable[[], None],
+    max_rounds: int = 10,
+    threshold_pages: int = 128,
+    disk_write_us_per_page: float | None = None,
+) -> tuple[CheckpointImage, PredumpReport]:
+    """Pre-dump until the dirty set is below ``threshold_pages``."""
+    if max_rounds < 1:
+        raise CheckpointError("max_rounds must be >= 1")
+    technique = Technique(technique) if isinstance(technique, str) else technique
+    per_page = (
+        disk_write_us_per_page
+        if disk_write_us_per_page is not None
+        else kernel.costs.params.disk_write_us_per_page
+    )
+    clock = kernel.clock
+    report = PredumpReport(technique=technique)
+    image = CheckpointImage.for_process(process)
+    t_start = clock.now_us
+
+    def write(vpns: np.ndarray) -> None:
+        tokens = kernel.vm.mmu.read_page_contents(process.space.pt, vpns)
+        clock.charge(
+            float(vpns.size) * per_page, World.TRACKER, EV_DISK_WRITE,
+            int(vpns.size),
+        )
+        image.add_round(vpns, tokens)
+
+    tracker = make_tracker(technique, kernel, process)
+    tracker.start()
+    try:
+        mapped = process.space.mapped_vpns()
+        write(mapped)
+        report.pages_per_round.append(int(mapped.size))
+        report.rounds = 1
+        dirty = np.empty(0, dtype=np.int64)
+        while report.rounds < max_rounds:
+            run_round()
+            dirty = tracker.collect()
+            dirty = dirty[process.space.pt.present_mask(dirty)]
+            if dirty.size <= threshold_pages:
+                report.converged = True
+                break
+            write(dirty)
+            report.pages_per_round.append(int(dirty.size))
+            report.rounds += 1
+        # Final freeze: dump the residue with the process stopped.
+        t0 = clock.now_us
+        kernel.stop_process(process)
+        if not report.converged:
+            dirty = tracker.collect()
+            dirty = dirty[process.space.pt.present_mask(dirty)]
+        if dirty.size:
+            write(dirty)
+            report.pages_per_round.append(int(dirty.size))
+        kernel.resume_process(process)
+        report.downtime_us = clock.now_us - t0
+    finally:
+        tracker.stop()
+    report.total_us = clock.now_us - t_start
+    return image, report

@@ -1,0 +1,10 @@
+"""Secure heap allocator demonstrating the OoH-SPP extension (§III-D)."""
+
+from repro.trackers.secureheap.allocator import (
+    Allocation,
+    GuardMode,
+    OverflowDetected,
+    SecureHeap,
+)
+
+__all__ = ["Allocation", "GuardMode", "OverflowDetected", "SecureHeap"]

@@ -1,0 +1,5 @@
+"""Use-after-free mitigation on dirty-page tracking (paper §I consumer)."""
+
+from repro.trackers.uaf.mitigator import UafCycleReport, UafMitigator
+
+__all__ = ["UafCycleReport", "UafMitigator"]

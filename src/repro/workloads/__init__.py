@@ -1,0 +1,31 @@
+"""Workloads: the paper's micro- and macro-benchmark applications."""
+
+from repro.workloads.arrayparser import ArrayParser
+from repro.workloads.base import FlatContext, GcContext, MemoryContext, Region, Workload
+from repro.workloads.configs import (
+    APP_NAMES,
+    CONFIG_NAMES,
+    PHOENIX_APPS,
+    TABLE_III,
+    TKRZW_APPS,
+    get_config,
+    make_workload,
+)
+from repro.workloads.gcbench import GcBench
+
+__all__ = [
+    "ArrayParser",
+    "FlatContext",
+    "GcContext",
+    "MemoryContext",
+    "Region",
+    "Workload",
+    "GcBench",
+    "APP_NAMES",
+    "CONFIG_NAMES",
+    "PHOENIX_APPS",
+    "TKRZW_APPS",
+    "TABLE_III",
+    "get_config",
+    "make_workload",
+]

@@ -1,0 +1,165 @@
+"""Table III: per-application configurations and memory footprints.
+
+Every entry reproduces a row of the paper's Table III: the application's
+parameters for the *Small*, *Medium* and *Large* configurations and the
+measured memory consumption, which sizes the simulated process.
+
+``make_workload`` is the factory the experiment harness uses; ``scale``
+(0 < scale <= 1) shrinks iteration counts — *not* footprints — so the test
+suite can exercise full configurations quickly.  Footprint-sensitive
+results (Table I, Fig. 4) always use the real sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AppConfig", "TABLE_III", "CONFIG_NAMES", "make_workload", "APP_NAMES"]
+
+CONFIG_NAMES = ("small", "medium", "large")
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """One cell of Table III."""
+
+    app: str
+    config: str
+    mem_mb: float
+    params: dict
+
+
+def _cfg(app: str, config: str, mem_mb: float, **params) -> AppConfig:
+    return AppConfig(app=app, config=config, mem_mb=mem_mb, params=dict(params))
+
+
+TABLE_III: dict[str, dict[str, AppConfig]] = {
+    "gcbench": {
+        "small": _cfg("gcbench", "small", 15.07,
+                      array_size=500_000, long_lived_depth=16, stretch_depth=18),
+        "medium": _cfg("gcbench", "medium", 67.76,
+                       array_size=650_000, long_lived_depth=18, stretch_depth=20),
+        "large": _cfg("gcbench", "large", 223.41,
+                      array_size=750_000, long_lived_depth=20, stretch_depth=22),
+    },
+    "histogram": {
+        "small": _cfg("histogram", "small", 102.27, datafile_mb=100),
+        "medium": _cfg("histogram", "medium", 441.28, datafile_mb=500),
+        "large": _cfg("histogram", "large", 1527.0, datafile_mb=1536),
+    },
+    "kmeans": {
+        "small": _cfg("kmeans", "small", 4.26, dim=500, clusters=500,
+                      points=500, iters=100),
+        "medium": _cfg("kmeans", "medium", 16.41, dim=1000, clusters=1000,
+                       points=1000, iters=100),
+        "large": _cfg("kmeans", "large", 195.64, dim=5000, clusters=5000,
+                      points=5000, iters=100),
+    },
+    "matrix-multiply": {
+        "small": _cfg("matrix-multiply", "small", 5.56, n=500),
+        "medium": _cfg("matrix-multiply", "medium", 16.21, n=1000),
+        "large": _cfg("matrix-multiply", "large", 47.33, n=2000),
+    },
+    "pca": {
+        "small": _cfg("pca", "small", 8.12, rows=1000, cols=1000, s=200),
+        "medium": _cfg("pca", "medium", 97.85, rows=5000, cols=5000, s=200),
+        "large": _cfg("pca", "large", 195.50, rows=10000, cols=10000, s=200),
+    },
+    "string-match": {
+        "small": _cfg("string-match", "small", 56.40, datafile_mb=50),
+        "medium": _cfg("string-match", "medium", 106.14, datafile_mb=100),
+        "large": _cfg("string-match", "large", 212.09, datafile_mb=200),
+    },
+    "word-count": {
+        "small": _cfg("word-count", "small", 100.65, datafile_mb=50),
+        "medium": _cfg("word-count", "medium", 143.99, datafile_mb=100),
+        "large": _cfg("word-count", "large", 205.88, datafile_mb=200),
+    },
+    "baby": {
+        "small": _cfg("baby", "small", 253.64, n_iter=3_000_000, threads=3),
+        "medium": _cfg("baby", "medium", 421.48, n_iter=5_000_000, threads=3),
+        "large": _cfg("baby", "large", 848.56, n_iter=10_000_000, threads=3),
+    },
+    "cache": {
+        "small": _cfg("cache", "small", 218.21, n_iter=3_000_000,
+                      cap_rec_num=3_000_000, threads=5),
+        "medium": _cfg("cache", "medium", 361.91, n_iter=5_000_000,
+                       cap_rec_num=5_000_000, threads=5),
+        "large": _cfg("cache", "large", 721.46, n_iter=10_000_000,
+                      cap_rec_num=10_000_000, threads=5),
+    },
+    "stdhash": {
+        "small": _cfg("stdhash", "small", 358.64, n_iter=3_000_000,
+                      buckets=100_000, threads=2),
+        "medium": _cfg("stdhash", "medium", 595.80, n_iter=5_000_000,
+                       buckets=100_000, threads=2),
+        "large": _cfg("stdhash", "large", 1208.3, n_iter=10_000_000,
+                      buckets=100_000, threads=2),
+    },
+    "stdtree": {
+        "small": _cfg("stdtree", "small", 415.12, n_iter=3_000_000, threads=2),
+        "medium": _cfg("stdtree", "medium", 694.07, n_iter=5_000_000, threads=2),
+        "large": _cfg("stdtree", "large", 1413.1, n_iter=10_000_000, threads=2),
+    },
+    "tiny": {
+        "small": _cfg("tiny", "small", 681.35, n_iter=5_000_000,
+                      buckets=30_000_000, threads=3),
+        "medium": _cfg("tiny", "medium", 977.66, n_iter=5_000_000,
+                       buckets=30_000_000, threads=5),
+        "large": _cfg("tiny", "large", 1300.5, n_iter=5_000_000,
+                      buckets=30_000_000, threads=7),
+    },
+}
+
+APP_NAMES = tuple(TABLE_III)
+PHOENIX_APPS = ("histogram", "kmeans", "matrix-multiply", "pca",
+                "string-match", "word-count")
+TKRZW_APPS = ("baby", "cache", "stdhash", "stdtree", "tiny")
+
+
+def get_config(app: str, config: str) -> AppConfig:
+    """Look up one Table III cell by application and configuration."""
+    try:
+        return TABLE_III[app][config]
+    except KeyError:
+        raise ConfigurationError(f"unknown app/config: {app}/{config}") from None
+
+
+def make_workload(app: str, config: str = "small", scale: float = 1.0):
+    """Instantiate the workload for one Table III cell.
+
+    ``scale`` in (0, 1] shrinks iteration counts (not footprints).
+    """
+    if not 0 < scale <= 1:
+        raise ConfigurationError(f"scale must be in (0, 1]: {scale}")
+    cfg = get_config(app, config)
+    # Imported here to keep configs importable without the whole package.
+    from repro.workloads.gcbench import GcBench
+    from repro.workloads.phoenix import (
+        Histogram,
+        KMeans,
+        MatrixMultiply,
+        Pca,
+        StringMatch,
+        WordCount,
+    )
+    from repro.workloads.tkrzw import Baby, Cache, StdHash, StdTree, Tiny
+
+    classes = {
+        "gcbench": GcBench,
+        "histogram": Histogram,
+        "kmeans": KMeans,
+        "matrix-multiply": MatrixMultiply,
+        "pca": Pca,
+        "string-match": StringMatch,
+        "word-count": WordCount,
+        "baby": Baby,
+        "cache": Cache,
+        "stdhash": StdHash,
+        "stdtree": StdTree,
+        "tiny": Tiny,
+    }
+    cls = classes[app]
+    return cls.from_config(cfg, scale=scale)

@@ -1,0 +1,17 @@
+"""Phoenix (shared-memory MapReduce) application models."""
+
+from repro.workloads.phoenix.histogram import Histogram
+from repro.workloads.phoenix.kmeans import KMeans
+from repro.workloads.phoenix.matmul import MatrixMultiply
+from repro.workloads.phoenix.pca import Pca
+from repro.workloads.phoenix.stringmatch import StringMatch
+from repro.workloads.phoenix.wordcount import WordCount
+
+__all__ = [
+    "Histogram",
+    "KMeans",
+    "MatrixMultiply",
+    "Pca",
+    "StringMatch",
+    "WordCount",
+]

@@ -1,0 +1,40 @@
+"""Phoenix *histogram*: bin the pixels of a bitmap file.
+
+Reads the data file once, sequentially; the only writes are the three
+256-bucket channel histograms (a few pages, rewritten every batch).
+Per-page compute models ~1.4 K pixels/page of binning work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import PAGES_PER_MB
+from repro.workloads.base import MemoryContext
+from repro.workloads.phoenix.common import PhoenixApp
+
+__all__ = ["Histogram"]
+
+
+@dataclass
+class Histogram(PhoenixApp):
+    name: str = "histogram"
+    compute_factor: float = 10.0
+
+    def _run(self, ctx: MemoryContext) -> None:
+        (datafile_mb,) = self._require("datafile_mb")
+        file_pages = min(
+            int(datafile_mb * PAGES_PER_MB), self.footprint_pages - 4
+        )
+        data = ctx.alloc_region(file_pages, "datafile")
+        hist = ctx.alloc_region(4, "histograms")  # 3 channels + padding
+        # The input file is written once when loaded (mmap'd read-mostly
+        # afterwards).
+        ctx.write(hist, np.arange(hist.n_pages))
+
+        def bin_batch(lo: int, hi: int) -> None:
+            ctx.write(hist, np.arange(hist.n_pages))
+
+        self._sequential_read(ctx, data, self.compute_factor, bin_batch)

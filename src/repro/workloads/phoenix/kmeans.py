@@ -1,0 +1,52 @@
+"""Phoenix *kmeans*: iterative clustering.
+
+Two regions sized per the Phoenix implementation's int matrices: points
+(p x d) read every iteration, means (c x d) rewritten every iteration.
+Each iteration streams all point pages and dirties every means page —
+a read-heavy workload with a concentrated, repeated write set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import PAGE_SIZE
+from repro.workloads.base import MemoryContext
+from repro.workloads.phoenix.common import BATCH_PAGES, PhoenixApp
+
+__all__ = ["KMeans"]
+
+ELEM_BYTES = 4  # Phoenix kmeans uses int matrices
+
+
+@dataclass
+class KMeans(PhoenixApp):
+    name: str = "kmeans"
+    compute_factor: float = 4.0
+
+    def _run(self, ctx: MemoryContext) -> None:
+        dim, clusters, points, iters = self._require(
+            "dim", "clusters", "points", "iters"
+        )
+        point_pages = max(1, points * dim * ELEM_BYTES // PAGE_SIZE)
+        mean_pages = max(1, clusters * dim * ELEM_BYTES // PAGE_SIZE)
+        budget = self.footprint_pages - 8
+        point_pages = min(point_pages, max(1, budget - mean_pages))
+        mean_pages = min(mean_pages, max(1, budget - point_pages))
+        pts = ctx.alloc_region(point_pages, "points")
+        means = ctx.alloc_region(mean_pages, "means")
+
+        # Generate the input points (written once).
+        for lo in range(0, pts.n_pages, BATCH_PAGES):
+            hi = min(lo + BATCH_PAGES, pts.n_pages)
+            ctx.write(pts, np.arange(lo, hi))
+            self._touch_cost(ctx, hi - lo)
+        ctx.write(means, np.arange(means.n_pages))
+
+        for _ in range(self._scaled(iters)):
+            self._sequential_read(ctx, pts, self.compute_factor)
+            ctx.write(means, np.arange(means.n_pages))
+            self._touch_cost(ctx, means.n_pages)
+            ctx.checkpoint_opportunity()

@@ -1,0 +1,56 @@
+"""Phoenix *matrix-multiply*: C = A x B over int matrices.
+
+Three n x n regions; A and B are generated (written) once, then the
+multiply streams A row-blocks and all of B while dirtying C block by
+block.  Compute is cubic: calibrated at ~0.4 ns per multiply-add, which
+puts the n = 500 run at ~50 ms — the paper quotes matrix-multiply
+"runs in 51 ms" (§VI-E.b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import PAGE_SIZE
+from repro.workloads.base import MemoryContext
+from repro.workloads.phoenix.common import BATCH_PAGES, PhoenixApp
+
+__all__ = ["MatrixMultiply"]
+
+ELEM_BYTES = 4
+US_PER_MACC = 4.0e-4  # microseconds per multiply-add
+
+
+@dataclass
+class MatrixMultiply(PhoenixApp):
+    name: str = "matrix-multiply"
+
+    def _run(self, ctx: MemoryContext) -> None:
+        (n,) = self._require("n")
+        mat_pages = max(1, n * n * ELEM_BYTES // PAGE_SIZE)
+        a = ctx.alloc_region(mat_pages, "A")
+        b = ctx.alloc_region(mat_pages, "B")
+        c = ctx.alloc_region(mat_pages, "C")
+
+        for m in (a, b):
+            for lo in range(0, m.n_pages, BATCH_PAGES):
+                hi = min(lo + BATCH_PAGES, m.n_pages)
+                ctx.write(m, np.arange(lo, hi))
+                self._touch_cost(ctx, hi - lo)
+
+        # Row-block multiply: each block reads its A rows + all of B and
+        # writes its C rows.
+        n_blocks = max(1, self._scaled(16))
+        block = max(1, mat_pages // n_blocks)
+        flops_us_total = (float(n) ** 3) * US_PER_MACC * self.scale
+        for lo in range(0, mat_pages, block):
+            hi = min(lo + block, mat_pages)
+            ctx.read(a, np.arange(lo, hi))
+            for blo in range(0, b.n_pages, BATCH_PAGES):
+                bhi = min(blo + BATCH_PAGES, b.n_pages)
+                ctx.read(b, np.arange(blo, bhi))
+            ctx.write(c, np.arange(lo, hi))
+            ctx.compute(flops_us_total * (hi - lo) / mat_pages)
+            ctx.checkpoint_opportunity()

@@ -1,0 +1,54 @@
+"""Phoenix *pca*: mean and covariance of a points matrix.
+
+Two passes over the matrix region (generate, then statistics) with a
+small write region for means and a covariance strip rewritten during the
+second pass.  The matrix region is sized to the Table III footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import MemoryContext
+from repro.workloads.phoenix.common import BATCH_PAGES, PhoenixApp
+
+__all__ = ["Pca"]
+
+
+@dataclass
+class Pca(PhoenixApp):
+    name: str = "pca"
+    compute_factor: float = 8.0
+
+    def _run(self, ctx: MemoryContext) -> None:
+        rows, cols, s = self._require("rows", "cols", "s")
+        del rows, cols, s  # footprint (Table III) is authoritative
+        out_pages = max(2, self.footprint_pages // 20)
+        mat_pages = max(1, self.footprint_pages - out_pages - 4)
+        mat = ctx.alloc_region(mat_pages, "matrix")
+        cov = ctx.alloc_region(out_pages, "cov")
+
+        # Pass 1: generate the matrix.
+        for lo in range(0, mat.n_pages, BATCH_PAGES):
+            hi = min(lo + BATCH_PAGES, mat.n_pages)
+            ctx.write(mat, np.arange(lo, hi))
+            self._touch_cost(ctx, hi - lo)
+        ctx.checkpoint_opportunity()
+
+        # Pass 2: means (stream read, tiny writes).
+        self._sequential_read(ctx, mat, self.compute_factor)
+        ctx.write(cov, np.arange(min(2, cov.n_pages)))
+
+        # Pass 3: covariance (stream read, strip writes).
+        strip = max(1, cov.n_pages // 8)
+        state = {"i": 0}
+
+        def write_strip(lo: int, hi: int) -> None:
+            start = (state["i"] * strip) % cov.n_pages
+            idx = (start + np.arange(strip)) % cov.n_pages
+            ctx.write(cov, idx)
+            state["i"] += 1
+
+        self._sequential_read(ctx, mat, self.compute_factor, write_strip)

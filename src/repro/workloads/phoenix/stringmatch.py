@@ -1,0 +1,44 @@
+"""Phoenix *string-match*: scan a keys file for matching strings.
+
+Almost pure streaming reads over the data file with a small, rarely
+written results buffer.  The paper's Boehm results make string-match the
+extreme case for tracking overhead relative to useful work (232% under
+/proc, §I) because its own writes are so few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import PAGES_PER_MB
+from repro.workloads.base import MemoryContext
+from repro.workloads.phoenix.common import PhoenixApp
+
+__all__ = ["StringMatch"]
+
+
+@dataclass
+class StringMatch(PhoenixApp):
+    name: str = "string-match"
+    compute_factor: float = 12.0
+
+    def _run(self, ctx: MemoryContext) -> None:
+        (datafile_mb,) = self._require("datafile_mb")
+        file_pages = min(
+            int(datafile_mb * PAGES_PER_MB), self.footprint_pages - 8
+        )
+        data = ctx.alloc_region(file_pages, "keys-file")
+        results = ctx.alloc_region(8, "results")
+        ctx.write(results, np.arange(results.n_pages))
+
+        state = {"batch": 0}
+
+        def record_matches(lo: int, hi: int) -> None:
+            # A match is found every few batches: one page write.
+            if state["batch"] % 4 == 0:
+                ctx.write(results, np.array([state["batch"] // 4 % results.n_pages]))
+            state["batch"] += 1
+
+        self._sequential_read(ctx, data, self.compute_factor, record_matches)

@@ -1,0 +1,9 @@
+"""tkrzw in-memory key-value engine models."""
+
+from repro.workloads.tkrzw.baby import Baby
+from repro.workloads.tkrzw.cache import Cache
+from repro.workloads.tkrzw.stdhash import StdHash
+from repro.workloads.tkrzw.stdtree import StdTree
+from repro.workloads.tkrzw.tiny import Tiny
+
+__all__ = ["Baby", "Cache", "StdHash", "StdTree", "Tiny"]

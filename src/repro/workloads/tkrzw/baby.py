@@ -1,0 +1,33 @@
+"""tkrzw *baby*: an in-memory B+ tree (BabyDBM).
+
+Random-key inserts concentrate writes on leaf pages with strong recency
+locality (node splits cluster near recently grown subtrees) plus a steady
+trickle of internal-node updates across the whole arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.tkrzw.common import KvEngine
+
+__all__ = ["Baby"]
+
+
+@dataclass
+class Baby(KvEngine):
+    name: str = "baby"
+    us_per_op: float = 6.0
+    #: Fraction of ops landing in the recently-grown leaf window.
+    locality: float = 0.7
+    window_frac: float = 0.05
+
+    def target_pages(self, rng, op_index, n_ops, n_pages):
+        window = max(1, int(n_pages * self.window_frac))
+        base = (op_index // max(1, n_ops)) * window % max(1, n_pages - window)
+        n_local = int(n_ops * self.locality)
+        local = base + rng.integers(0, window, size=n_local)
+        spread = rng.integers(0, n_pages, size=n_ops - n_local)
+        return np.concatenate([local, spread])

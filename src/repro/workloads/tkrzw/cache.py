@@ -1,0 +1,26 @@
+"""tkrzw *cache*: a capacity-bounded LRU store (CacheDBM).
+
+The record cap keeps the working set at a fixed size; inserts beyond the
+cap evict old records, so writes cycle uniformly over the capped arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.tkrzw.common import KvEngine
+
+__all__ = ["Cache"]
+
+
+@dataclass
+class Cache(KvEngine):
+    name: str = "cache"
+    us_per_op: float = 3.0
+
+    def target_pages(self, rng, op_index, n_ops, n_pages):
+        # Records per page follows from cap_rec_num vs footprint; the cap
+        # makes the target distribution uniform over the whole arena.
+        return rng.integers(0, n_pages, size=n_ops)

@@ -1,0 +1,25 @@
+"""tkrzw *stdhash*: std::unordered_map-backed store with zlib records.
+
+100 K buckets hashing uniformly; zlib compression per record makes this
+the most compute-heavy engine per operation, which dilutes tracking
+overhead relative to the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.tkrzw.common import KvEngine
+
+__all__ = ["StdHash"]
+
+
+@dataclass
+class StdHash(KvEngine):
+    name: str = "stdhash"
+    us_per_op: float = 12.0  # zlib record compression
+
+    def target_pages(self, rng, op_index, n_ops, n_pages):
+        return rng.integers(0, n_pages, size=n_ops)

@@ -1,0 +1,32 @@
+"""tkrzw *stdtree*: std::map (red-black tree) backed store.
+
+Node allocations interleave across the arena; rebalancing adds clustered
+rotations around each insertion point, modelled as a Gaussian spread of
+extra page writes around the primary target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.tkrzw.common import KvEngine
+
+__all__ = ["StdTree"]
+
+
+@dataclass
+class StdTree(KvEngine):
+    name: str = "stdtree"
+    us_per_op: float = 5.0
+    rotation_spread_pages: float = 16.0
+
+    def target_pages(self, rng, op_index, n_ops, n_pages):
+        primary = rng.integers(0, n_pages, size=n_ops)
+        n_rot = n_ops // 4
+        around = primary[:n_rot] + rng.normal(
+            0, self.rotation_spread_pages, size=n_rot
+        ).astype(np.int64)
+        around = np.clip(around, 0, n_pages - 1)
+        return np.concatenate([primary, around])

@@ -1,0 +1,31 @@
+"""tkrzw *tiny*: TinyDBM, a compact on-memory hash store.
+
+30 M buckets over small records: very high record density per page, so a
+batch of operations dirties comparatively few distinct pages; thread
+count (the Table III knob) widens the concurrently hot region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.tkrzw.common import KvEngine
+
+__all__ = ["Tiny"]
+
+
+@dataclass
+class Tiny(KvEngine):
+    name: str = "tiny"
+    us_per_op: float = 2.0
+
+    def target_pages(self, rng, op_index, n_ops, n_pages):
+        threads = int(self.params.get("threads", 1))
+        # Each thread hammers its own stripe of the bucket array; small
+        # records mean many ops per page.
+        stripe = max(1, n_pages // max(1, threads))
+        thread_of_op = rng.integers(0, threads, size=n_ops)
+        within = rng.integers(0, stripe, size=n_ops)
+        return np.minimum(thread_of_op * stripe + within, n_pages - 1)

@@ -1,0 +1,69 @@
+"""Unit tests for the simulated clock and per-world accounting."""
+
+import pytest
+
+from repro.core.clock import SimClock, StopWatch, World
+
+
+def test_charge_advances_time_and_attributes_world():
+    clk = SimClock()
+    clk.charge(5.0, World.TRACKED, "compute")
+    clk.charge(2.5, World.TRACKER, "pt_walk_user")
+    assert clk.now_us == pytest.approx(7.5)
+    assert clk.world_us(World.TRACKED) == pytest.approx(5.0)
+    assert clk.world_us(World.TRACKER) == pytest.approx(2.5)
+    assert clk.world_us(World.KERNEL) == 0.0
+
+
+def test_event_ledger_counts_and_times():
+    clk = SimClock()
+    clk.charge(1.0, World.KERNEL, "pf_kernel", count=4)
+    clk.charge(0.5, World.KERNEL, "pf_kernel", count=1)
+    assert clk.event_count("pf_kernel") == 5
+    assert clk.event_us("pf_kernel") == pytest.approx(1.5)
+
+
+def test_count_only_records_without_time():
+    clk = SimClock()
+    clk.count_only("pml_log", 512)
+    assert clk.event_count("pml_log") == 512
+    assert clk.now_us == 0.0
+
+
+def test_negative_charge_rejected():
+    clk = SimClock()
+    with pytest.raises(ValueError):
+        clk.charge(-1.0, World.TRACKED, "compute")
+    with pytest.raises(ValueError):
+        clk.charge(1.0, World.TRACKED, "compute", count=-1)
+    with pytest.raises(ValueError):
+        clk.count_only("x", -2)
+
+
+def test_snapshot_and_since_isolate_an_interval():
+    clk = SimClock()
+    clk.charge(10.0, World.TRACKED, "compute", count=2)
+    snap = clk.snapshot()
+    clk.charge(3.0, World.HYPERVISOR, "vmexit", count=3)
+    delta = clk.since(snap)
+    assert delta.now_us == pytest.approx(3.0)
+    assert delta.world_us["hypervisor"] == pytest.approx(3.0)
+    assert delta.world_us["tracked"] == pytest.approx(0.0)
+    assert delta.event_count["vmexit"] == 3
+    # events only present before the snapshot show a zero delta
+    assert delta.event_count["compute"] == 0
+
+
+def test_stopwatch_measures_elapsed():
+    clk = SimClock()
+    clk.charge(1.0, World.TRACKED, "compute")
+    sw = StopWatch(clk)
+    clk.charge(4.0, World.TRACKER, "reverse_map")
+    assert sw.elapsed().now_us == pytest.approx(4.0)
+    assert sw.elapsed().world_us["tracker"] == pytest.approx(4.0)
+
+
+def test_unseen_event_reads_as_zero():
+    clk = SimClock()
+    assert clk.event_count("nothing") == 0
+    assert clk.event_us("nothing") == 0.0

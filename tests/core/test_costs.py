@@ -1,0 +1,76 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.core.calibration import mb_to_pages
+from repro.core.costs import CostModel, CostParams
+
+
+@pytest.fixture()
+def cm() -> CostModel:
+    return CostModel()
+
+
+def test_params_defaults_from_table_va(cm: CostModel):
+    assert cm.params.context_switch_us == pytest.approx(0.315)
+    assert cm.params.hc_init_pml_us == pytest.approx(5495.0)
+    assert cm.params.hc_init_pml_shadow_us == pytest.approx(5878.0)
+    assert cm.params.ioctl_init_pml_us == pytest.approx(5651.0)
+
+
+def test_with_overrides_returns_new_params(cm: CostModel):
+    p2 = cm.params.with_overrides(vmexit_roundtrip_us=10.0)
+    assert p2.vmexit_roundtrip_us == 10.0
+    assert cm.params.vmexit_roundtrip_us == 2.0  # original untouched
+    assert p2.context_switch_us == cm.params.context_switch_us
+
+
+def test_pf_unit_costs_scale_with_memory(cm: CostModel):
+    # ufd userspace fault handling is far more expensive than the kernel
+    # soft-dirty path at every size (paper Table Vb M6 vs M5).
+    for mb in (1, 10, 100, 1024):
+        n = mb_to_pages(mb)
+        assert cm.pf_user_unit_us(n) > cm.pf_kernel_unit_us(n)
+
+
+def test_clear_refs_and_pt_walk_totals(cm: CostModel):
+    n = mb_to_pages(1024)
+    assert cm.clear_refs_us(n) == pytest.approx(2234.0)
+    assert cm.pt_walk_user_us(n) == pytest.approx(594187.0)
+
+
+def test_reverse_map_scales_with_addresses_and_space(cm: CostModel):
+    n = mb_to_pages(1024)
+    one = cm.reverse_map_us(1, n)
+    many = cm.reverse_map_us(1000, n)
+    assert many == pytest.approx(one * 1000)
+    # Larger address space means costlier per-address lookups.
+    assert cm.reverse_map_us(100, mb_to_pages(1024)) > cm.reverse_map_us(
+        100, mb_to_pages(10)
+    )
+    assert cm.reverse_map_us(0, n) == 0.0
+
+
+def test_rb_copy_cost(cm: CostModel):
+    n = mb_to_pages(1024)
+    # Full sweep of the space equals the published total (0.671 ms).
+    assert cm.rb_copy_us(n, n) == pytest.approx(671.0)
+    assert cm.rb_copy_us(0, n) == 0.0
+
+
+def test_disable_logging_spread_over_calls(cm: CostModel):
+    n = mb_to_pages(1024)
+    total = cm.curve("m14_disable_logging").total(n)
+    assert cm.disable_logging_us(n, 10) == pytest.approx(float(total) / 10)
+    assert cm.disable_logging_us(n, 0) == 0.0
+
+
+def test_ufd_write_protect_reuses_clear_refs_curve(cm: CostModel):
+    n = mb_to_pages(250)
+    assert cm.ufd_write_protect_us(n) == pytest.approx(cm.clear_refs_us(n))
+
+
+def test_cost_params_frozen():
+    p = CostParams()
+    with pytest.raises(AttributeError):
+        p.vmread_us = 1.0  # type: ignore[misc]

@@ -1,0 +1,99 @@
+"""Unit + property tests for the shared ring buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ringbuffer import RingBuffer
+from repro.errors import ConfigurationError
+
+
+def test_push_and_pop_fifo_order():
+    rb = RingBuffer(8)
+    rb.push([1, 2, 3])
+    rb.push([4])
+    assert list(rb.pop_all()) == [1, 2, 3, 4]
+    assert len(rb) == 0
+
+
+def test_peek_does_not_consume():
+    rb = RingBuffer(4)
+    rb.push([7, 8])
+    assert list(rb.peek_all()) == [7, 8]
+    assert list(rb.pop_all()) == [7, 8]
+
+
+def test_wraparound():
+    rb = RingBuffer(4)
+    rb.push([1, 2, 3])
+    rb.pop_all()
+    rb.push([4, 5, 6])  # wraps around the end of the backing array
+    assert list(rb.pop_all()) == [4, 5, 6]
+
+
+def test_overflow_drops_oldest_and_counts():
+    rb = RingBuffer(4)
+    rb.push([1, 2, 3, 4])
+    dropped = rb.push([5, 6])
+    assert dropped == 2
+    assert rb.total_dropped == 2
+    assert list(rb.pop_all()) == [3, 4, 5, 6]
+
+
+def test_push_larger_than_capacity_keeps_newest():
+    rb = RingBuffer(4)
+    rb.push([0])
+    dropped = rb.push(np.arange(10))
+    assert dropped == 7  # the pre-existing entry plus 6 overflowed new ones
+    assert list(rb.pop_all()) == [6, 7, 8, 9]
+
+
+def test_total_pushed_counts_everything():
+    rb = RingBuffer(4)
+    rb.push([1, 2])
+    rb.push(np.arange(10))
+    assert rb.total_pushed == 12
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        RingBuffer(0)
+
+
+def test_empty_push_and_pop():
+    rb = RingBuffer(4)
+    assert rb.push([]) == 0
+    assert rb.pop_all().size == 0
+
+
+def test_clear():
+    rb = RingBuffer(4)
+    rb.push([1, 2, 3])
+    rb.clear()
+    assert len(rb) == 0
+    assert rb.pop_all().size == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    cap=st.integers(min_value=1, max_value=64),
+    chunks=st.lists(
+        st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=100),
+        max_size=20,
+    ),
+)
+def test_property_suffix_preserved(cap, chunks):
+    """After any push sequence the buffer holds exactly the newest
+    min(capacity, total) entries in order, and pushed == retained + dropped."""
+    rb = RingBuffer(cap)
+    reference: list[int] = []
+    for chunk in chunks:
+        rb.push(chunk)
+        reference.extend(chunk)
+    expected = reference[-cap:] if reference else []
+    got = [int(x) for x in rb.peek_all()]
+    assert got == expected[-len(got):] if got else expected == []
+    assert got == reference[len(reference) - len(got):]
+    assert rb.total_pushed == len(reference)
+    assert rb.total_pushed == len(rb) + rb.total_dropped

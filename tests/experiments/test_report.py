@@ -1,0 +1,23 @@
+"""Tests for the automated report generator."""
+
+from repro.experiments.report import PAPER_NOTES, generate_report, main
+from repro.experiments.runner import EXPERIMENTS
+
+
+def test_paper_notes_cover_every_experiment():
+    assert set(PAPER_NOTES) == set(EXPERIMENTS)
+
+
+def test_main_writes_report(tmp_path, monkeypatch):
+    # Keep it fast: shrink the registry to two cheap experiments.
+    import repro.experiments.report as report_mod
+
+    subset = {k: EXPERIMENTS[k] for k in ("table6", "fig3")}
+    monkeypatch.setattr(report_mod, "EXPERIMENTS", subset)
+    out = tmp_path / "r.md"
+    assert main(["--quick", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "## table6" in text
+    assert "## fig3" in text
+    assert "Fig. 3: SPML collection breakdown" in text

@@ -1,0 +1,58 @@
+"""Tests for the experiment registry (quick mode)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    main,
+    run_experiment,
+)
+from repro.experiments.tables import fmt_ms, fmt_pct, render_table
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1", "table4", "table5", "table6",
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10_11",
+    }
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+@pytest.mark.parametrize("name", ["table1", "table6", "fig3", "fig4"])
+def test_quick_experiments_produce_tables(name):
+    out = run_experiment(name, quick=True)
+    assert isinstance(out, ExperimentOutput)
+    assert out.rows
+    assert out.headers
+    assert name in out.experiment
+    assert out.text.count("\n") >= len(out.rows)
+
+
+def test_table4_accuracy_in_quick_mode():
+    out = run_experiment("table4", quick=True)
+    for row in out.rows:
+        assert float(row[3]) > 90.0
+        assert float(row[6]) > 90.0
+
+
+def test_cli_main_runs_one(capsys):
+    assert main(["table6", "--quick"]) == 0
+    captured = capsys.readouterr()
+    assert "Table VI" in captured.out
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+
+def test_formatters():
+    assert fmt_ms(1500.0) == "1.5"
+    assert fmt_pct(42.4) == "42"

@@ -1,0 +1,82 @@
+"""Tests for the guest fault paths: minor, zero-page/COW, soft-dirty."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import EV_PF_KERNEL, EV_PF_MINOR
+from repro.hw.pagetable import PTE_SOFT_DIRTY, PTE_WRITABLE, PTE_ZERO
+
+
+def spawn(stack, n_pages=32):
+    proc = stack.kernel.spawn("p", n_pages=n_pages)
+    proc.space.add_vma(n_pages)
+    return proc
+
+
+def test_write_fault_installs_writable_soft_dirty_mapping(stack):
+    proc = spawn(stack)
+    r = stack.kernel.access(proc, [0], True)
+    assert r.n_minor_faults == 1
+    pt = proc.space.pt
+    assert pt.flag_mask([0], PTE_WRITABLE).all()
+    assert pt.flag_mask([0], PTE_SOFT_DIRTY).all()
+    assert not pt.flag_mask([0], PTE_ZERO).any()
+
+
+def test_read_fault_installs_clean_zero_page(stack):
+    """Linux semantics: reading untouched anon memory maps the zero page;
+    the page is NOT dirty for any tracking technique."""
+    proc = spawn(stack)
+    r = stack.kernel.access(proc, [0], False)
+    assert r.n_minor_faults == 1
+    pt = proc.space.pt
+    assert not pt.flag_mask([0], PTE_WRITABLE).any()
+    assert not pt.flag_mask([0], PTE_SOFT_DIRTY).any()
+    assert pt.flag_mask([0], PTE_ZERO).all()
+    # /proc does not report it dirty.
+    assert 0 not in set(stack.kernel.procfs.pagemap_soft_dirty(proc))
+
+
+def test_cow_break_on_write_after_read(stack):
+    proc = spawn(stack)
+    stack.kernel.access(proc, [0], False)  # zero page
+    r = stack.kernel.access(proc, [0], True)  # COW break
+    assert r.n_wp_faults == 1
+    # Charged as a minor-fault-class event, NOT a soft-dirty M5 fault —
+    # the COW path is identical under every technique.
+    assert stack.clock.event_count(EV_PF_KERNEL) == 0
+    assert stack.clock.event_count(EV_PF_MINOR) == 2  # map + COW
+    pt = proc.space.pt
+    assert pt.flag_mask([0], PTE_WRITABLE).all()
+    assert pt.flag_mask([0], PTE_SOFT_DIRTY).all()
+    assert not pt.flag_mask([0], PTE_ZERO).any()
+
+
+def test_read_only_pages_invisible_to_all_techniques(stack):
+    """Evaluation question 3 hinges on not over-reporting: pages only
+    read must not appear in any technique's dirty set."""
+    from repro.core.tracking import Technique, make_tracker
+
+    for technique in Technique:
+        proc = spawn(stack)
+        tracker = make_tracker(technique, stack.kernel, proc)
+        with tracker:
+            stack.kernel.access(proc, [1, 2, 3], False)  # reads only
+            dirty = tracker.collect()
+        assert dirty.size == 0, technique
+
+
+def test_mixed_batch_splits_read_and_write_mappings(stack):
+    proc = spawn(stack)
+    stack.kernel.access(proc, [0, 1, 2, 3], [True, False, True, False])
+    pt = proc.space.pt
+    assert list(pt.flag_mask(np.arange(4), PTE_WRITABLE)) == [
+        True, False, True, False]
+
+
+def test_soft_dirty_fault_still_charged_for_tracked_pages(stack):
+    proc = spawn(stack)
+    stack.kernel.access(proc, [0], True)
+    stack.kernel.procfs.clear_refs(proc)
+    stack.kernel.access(proc, [0], True)
+    assert stack.clock.event_count(EV_PF_KERNEL) == 1

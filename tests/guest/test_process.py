@@ -1,0 +1,46 @@
+"""Tests for processes, VMAs, address spaces."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.guest.process import AddressSpace, Vma
+
+
+def test_vma_validation():
+    with pytest.raises(ConfigurationError):
+        Vma(start_vpn=-1, n_pages=4)
+    with pytest.raises(ConfigurationError):
+        Vma(start_vpn=0, n_pages=0)
+
+
+def test_add_vma_packs_sequentially():
+    space = AddressSpace(100)
+    a = space.add_vma(10, "heap")
+    b = space.add_vma(20, "arena")
+    assert (a.start_vpn, a.end_vpn) == (0, 10)
+    assert (b.start_vpn, b.end_vpn) == (10, 30)
+    assert list(a.vpns()) == list(range(10))
+
+
+def test_add_vma_exhaustion():
+    space = AddressSpace(16)
+    space.add_vma(16)
+    with pytest.raises(InvalidAddressError):
+        space.add_vma(1)
+
+
+def test_vma_containing():
+    space = AddressSpace(32)
+    space.add_vma(8, "a")
+    b = space.add_vma(8, "b")
+    assert space.vma_containing(12) is b
+    with pytest.raises(InvalidAddressError):
+        space.vma_containing(30)
+
+
+def test_rss_counts_present_pages(stack):
+    proc = stack.kernel.spawn("p", n_pages=64)
+    assert proc.space.rss_pages == 0
+    proc.space.add_vma(8)
+    stack.kernel.access(proc, [0, 1, 2], True)
+    assert proc.space.rss_pages == 3

@@ -1,0 +1,72 @@
+"""Tests for the /proc soft-dirty interface."""
+
+import pytest
+
+from repro.core.clock import World
+from repro.core.costs import EV_CLEAR_REFS, EV_PF_KERNEL, EV_PT_WALK_USER
+
+
+def setup_proc(stack, n_pages=32):
+    proc = stack.kernel.spawn("tracked", n_pages=n_pages)
+    proc.space.add_vma(n_pages)
+    return proc
+
+
+def test_fresh_pages_are_soft_dirty(stack):
+    proc = setup_proc(stack)
+    stack.kernel.access(proc, [0, 1], True)
+    dirty = stack.kernel.procfs.pagemap_soft_dirty(proc)
+    assert set(dirty) == {0, 1}
+
+
+def test_clear_refs_resets_and_write_protects(stack):
+    proc = setup_proc(stack)
+    stack.kernel.access(proc, [0, 1, 2], True)
+    n = stack.kernel.procfs.clear_refs(proc)
+    assert n == 3
+    assert stack.kernel.procfs.pagemap_soft_dirty(proc).size == 0
+    # A write now faults (M5 kernel path) and re-sets soft-dirty.
+    r = stack.kernel.access(proc, [1], True)
+    assert r.n_wp_faults == 1
+    assert list(stack.kernel.procfs.pagemap_soft_dirty(proc)) == [1]
+    assert stack.clock.event_count(EV_PF_KERNEL) == 1
+
+
+def test_untouched_pages_not_reported(stack):
+    proc = setup_proc(stack)
+    stack.kernel.access(proc, [0, 1, 2, 3], True)
+    stack.kernel.procfs.clear_refs(proc)
+    stack.kernel.access(proc, [2], True)
+    stack.kernel.access(proc, [3], False)  # read only
+    assert list(stack.kernel.procfs.pagemap_soft_dirty(proc)) == [2]
+
+
+def test_clear_refs_flushes_tlb(stack):
+    proc = setup_proc(stack)
+    stack.kernel.access(proc, [0], True)
+    flushes = proc.space.tlb.n_flushes
+    stack.kernel.procfs.clear_refs(proc)
+    assert proc.space.tlb.n_flushes == flushes + 1
+
+
+def test_costs_charged_to_tracker(stack):
+    proc = setup_proc(stack)
+    stack.kernel.access(proc, [0], True)
+    before = stack.clock.world_us(World.TRACKER)
+    stack.kernel.procfs.clear_refs(proc)
+    stack.kernel.procfs.pagemap_soft_dirty(proc)
+    assert stack.clock.world_us(World.TRACKER) > before
+    assert stack.clock.event_count(EV_CLEAR_REFS) == 1
+    assert stack.clock.event_count(EV_PT_WALK_USER) == 1
+    n = proc.space.n_pages
+    assert stack.clock.event_us(EV_CLEAR_REFS) == pytest.approx(
+        stack.costs.clear_refs_us(n)
+    )
+
+
+def test_pagemap_pfns_translates(stack):
+    proc = setup_proc(stack)
+    stack.kernel.access(proc, [0, 1], True)
+    pfns = stack.kernel.procfs.pagemap_pfns(proc, proc.space.mapped_vpns())
+    assert len(pfns) == 2
+    assert len(set(int(x) for x in pfns)) == 2

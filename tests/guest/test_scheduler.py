@@ -1,0 +1,101 @@
+"""Tests for the interval scheduler (source of the paper's N)."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.costs import EV_CONTEXT_SWITCH, CostModel
+from repro.errors import ConfigurationError
+from repro.guest.process import AddressSpace, Process
+from repro.guest.scheduler import Scheduler
+
+
+def make(interval=100.0):
+    clock = SimClock()
+    sched = Scheduler(clock, CostModel(), switch_interval_us=interval)
+    proc = Process(pid=1, name="p", space=AddressSpace(4))
+    return clock, sched, proc
+
+
+def test_no_switch_below_interval():
+    _, sched, proc = make(100.0)
+    assert sched.notify_runtime(proc, 99.0) == 0
+    assert sched.n_switches == 0
+
+
+def test_switch_fires_at_interval_and_carries_remainder():
+    _, sched, proc = make(100.0)
+    assert sched.notify_runtime(proc, 150.0) == 1
+    assert sched.notify_runtime(proc, 49.0) == 0
+    assert sched.notify_runtime(proc, 1.0) == 1
+    assert sched.n_switches == 2
+
+
+def test_long_charge_fires_multiple_switches():
+    _, sched, proc = make(100.0)
+    assert sched.notify_runtime(proc, 1000.0) == 10
+
+
+def test_hooks_called_out_then_in():
+    _, sched, proc = make(10.0)
+    order = []
+    sched.add_sched_out_hook(lambda p: order.append(("out", p.pid)))
+    sched.add_sched_in_hook(lambda p: order.append(("in", p.pid)))
+    sched.notify_runtime(proc, 10.0)
+    assert order == [("out", 1), ("in", 1)]
+    assert proc.n_scheduled_out == 1
+    assert proc.n_scheduled_in == 1
+
+
+def test_remove_hooks():
+    _, sched, proc = make(10.0)
+    calls = []
+    hook = lambda p: calls.append(p.pid)  # noqa: E731
+    sched.add_sched_out_hook(hook)
+    sched.remove_hooks(hook)
+    sched.notify_runtime(proc, 20.0)
+    assert calls == []
+
+
+def test_context_switch_cost_charged():
+    clock, sched, proc = make(10.0)
+    sched.notify_runtime(proc, 10.0)
+    # One pair = two M1 transitions at 0.315 us each.
+    assert clock.event_count(EV_CONTEXT_SWITCH) == 2
+    assert clock.event_us(EV_CONTEXT_SWITCH) == pytest.approx(0.63)
+
+
+def test_per_process_accumulators_independent():
+    _, sched, p1 = make(100.0)
+    p2 = Process(pid=2, name="q", space=AddressSpace(4))
+    sched.notify_runtime(p1, 60.0)
+    sched.notify_runtime(p2, 60.0)
+    assert sched.n_switches == 0
+    assert sched.notify_runtime(p1, 40.0) == 1
+
+
+def test_invalid_interval():
+    with pytest.raises(ConfigurationError):
+        Scheduler(SimClock(), CostModel(), switch_interval_us=0)
+
+
+def test_deschedule_schedule_split():
+    """deschedule/schedule fire out/in hooks independently (colocation
+    modelling: the tracked process stays off-CPU while a tenant runs)."""
+    _, sched, proc = make(1000.0)
+    events = []
+    sched.add_sched_out_hook(lambda p: events.append("out"))
+    sched.add_sched_in_hook(lambda p: events.append("in"))
+    sched.deschedule(proc)
+    assert events == ["out"]
+    assert proc.n_scheduled_out == 1
+    assert proc.n_scheduled_in == 0
+    sched.schedule(proc)
+    assert events == ["out", "in"]
+    assert proc.n_scheduled_in == 1
+
+
+def test_switch_equals_deschedule_plus_schedule():
+    clock, sched, proc = make(1000.0)
+    sched.switch(proc)
+    assert proc.n_scheduled_out == proc.n_scheduled_in == 1
+    assert clock.event_count("context_switch") == 2

@@ -1,0 +1,116 @@
+"""Tests for the vCPU: modes, vmexits, hypercalls, shadow vmread/vmwrite."""
+
+import pytest
+
+from repro.core.clock import SimClock, World
+from repro.core.costs import EV_VMEXIT, EV_VMREAD, EV_VMWRITE, CostModel
+from repro.errors import VmcsError
+from repro.hw import vmcs as vm
+from repro.hw.cpu import CpuMode, ExitReason, Vcpu
+from repro.hw.ept import Ept
+from repro.hw.interrupts import VECTOR_OOH_PML_FULL
+
+
+@pytest.fixture()
+def vcpu() -> Vcpu:
+    return Vcpu(0, SimClock(), CostModel())
+
+
+def test_starts_in_non_root_mode(vcpu: Vcpu):
+    assert vcpu.mode is CpuMode.VMX_NON_ROOT
+
+
+def test_vmexit_runs_handler_in_root_mode_and_restores(vcpu: Vcpu):
+    seen = []
+
+    def handler(cpu, payload):
+        seen.append((cpu.mode, payload))
+        return "handled"
+
+    vcpu.install_exit_handler(ExitReason.PML_FULL, handler)
+    out = vcpu.vmexit(ExitReason.PML_FULL, payload=123)
+    assert out == "handled"
+    assert seen == [(CpuMode.VMX_ROOT, 123)]
+    assert vcpu.mode is CpuMode.VMX_NON_ROOT
+    assert vcpu.n_vmexits == 1
+    assert vcpu.clock.event_count(EV_VMEXIT) == 1
+    assert vcpu.clock.world_us(World.HYPERVISOR) > 0
+
+
+def test_vmexit_without_handler_raises(vcpu: Vcpu):
+    with pytest.raises(VmcsError):
+        vcpu.vmexit(ExitReason.EPT_VIOLATION)
+
+
+def test_hypercall_dispatches_with_number(vcpu: Vcpu):
+    calls = []
+    vcpu.install_exit_handler(
+        ExitReason.HYPERCALL, lambda cpu, p: calls.append(p) or "ok"
+    )
+    assert vcpu.hypercall(7, "a", "b") == "ok"
+    assert calls == [(7, ("a", "b"))]
+
+
+def test_root_mode_vmread_vmwrite_hit_ordinary_vmcs(vcpu: Vcpu):
+    vcpu.mode = CpuMode.VMX_ROOT
+    vcpu.vmwrite(vm.F_PML_ADDRESS, 99)
+    assert vcpu.vmread(vm.F_PML_ADDRESS) == 99
+    assert vcpu.clock.event_count(EV_VMREAD) == 1
+    assert vcpu.clock.event_count(EV_VMWRITE) == 1
+
+
+def test_non_root_vmaccess_requires_shadowing(vcpu: Vcpu):
+    with pytest.raises(VmcsError):
+        vcpu.vmread(vm.F_PML_INDEX)
+    with pytest.raises(VmcsError):
+        vcpu.vmwrite(vm.F_CTRL_ENABLE_GUEST_PML, 1)
+
+
+def _enable_shadowing(vcpu: Vcpu) -> vm.Vmcs:
+    shadow = vm.Vmcs(name="shadow", is_shadow=True)
+    vcpu.vmcs.link_shadow(shadow)
+    vcpu.vmcs.write(vm.F_CTRL_ENABLE_VMCS_SHADOWING, 1)
+    vcpu.vmcs.expose_to_guest(
+        {vm.F_CTRL_ENABLE_GUEST_PML, vm.F_GUEST_PML_INDEX, vm.F_GUEST_PML_ADDRESS}
+    )
+    return shadow
+
+
+def test_non_root_vmaccess_hits_shadow_when_exposed(vcpu: Vcpu):
+    shadow = _enable_shadowing(vcpu)
+    vcpu.vmwrite(vm.F_CTRL_ENABLE_GUEST_PML, 1)
+    assert shadow.read(vm.F_CTRL_ENABLE_GUEST_PML) == 1
+    assert vcpu.vmcs.read(vm.F_CTRL_ENABLE_GUEST_PML) == 0  # ordinary untouched
+    assert vcpu.vmread(vm.F_CTRL_ENABLE_GUEST_PML) == 1
+    assert vcpu.n_vmexits == 0  # the whole point: no vmexit
+
+
+def test_non_root_vmaccess_to_unexposed_field_rejected(vcpu: Vcpu):
+    _enable_shadowing(vcpu)
+    with pytest.raises(VmcsError):
+        vcpu.vmwrite(vm.F_PML_ADDRESS, 1)
+
+
+def test_epml_guest_pml_address_translated_through_ept(vcpu: Vcpu):
+    """The EPML ISA extension: GPA -> HPA translation on vmwrite."""
+    _enable_shadowing(vcpu)
+    ept = Ept(16)
+    ept.map([3], [12])
+    vcpu.ept = ept
+    vcpu.vmwrite(vm.F_GUEST_PML_ADDRESS, 3)  # guest writes a GPFN
+    assert vcpu.vmcs.link.read(vm.F_GUEST_PML_ADDRESS) == 12  # stored as HPFN
+
+
+def test_epml_vmwrite_without_ept_rejected(vcpu: Vcpu):
+    _enable_shadowing(vcpu)
+    with pytest.raises(VmcsError):
+        vcpu.vmwrite(vm.F_GUEST_PML_ADDRESS, 3)
+
+
+def test_interrupt_posting_reaches_registered_handler(vcpu: Vcpu):
+    got = []
+    vcpu.interrupts.register(VECTOR_OOH_PML_FULL, got.append)
+    assert vcpu.interrupts.post(VECTOR_OOH_PML_FULL)
+    assert got == [VECTOR_OOH_PML_FULL]
+    assert vcpu.interrupts.n_posted == 1
+    assert not vcpu.interrupts.post(0x33)  # unregistered vector

@@ -1,0 +1,87 @@
+"""Tests for the EPT second-level translation and dirty-bit semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.hw.ept import EPT_ACCESSED, EPT_DIRTY, Ept
+
+
+def test_map_translate():
+    ept = Ept(16)
+    ept.map([0, 1, 2], [100, 101, 102])
+    assert list(ept.translate([2, 0])) == [102, 100]
+
+
+def test_translate_unmapped_raises():
+    ept = Ept(4)
+    with pytest.raises(InvalidAddressError):
+        ept.translate([0])
+
+
+def test_touch_sets_accessed_and_dirty():
+    ept = Ept(8)
+    ept.map([0, 1], [10, 11])
+    newly = ept.touch(np.array([0, 1]), np.array([False, True]))
+    assert list(newly) == [1]
+    assert (ept.flags[0] & EPT_ACCESSED) != 0
+    assert (ept.flags[0] & EPT_DIRTY) == 0
+    assert (ept.flags[1] & EPT_DIRTY) != 0
+
+
+def test_touch_only_logs_zero_to_one_transition():
+    """PML's defining property: a page already dirty is not re-logged."""
+    ept = Ept(8)
+    ept.map([0], [10])
+    first = ept.touch(np.array([0]), np.array([True]))
+    second = ept.touch(np.array([0]), np.array([True]))
+    assert list(first) == [0]
+    assert list(second) == []
+
+
+def test_touch_deduplicates_within_batch():
+    ept = Ept(8)
+    ept.map([3], [13])
+    newly = ept.touch(np.array([3, 3, 3]), np.array([True, True, True]))
+    assert list(newly) == [3]
+
+
+def test_clear_dirty_rearms_logging():
+    ept = Ept(8)
+    ept.map([0, 1], [10, 11])
+    ept.touch(np.array([0, 1]), np.array([True, True]))
+    assert set(ept.dirty_gpfns()) == {0, 1}
+    n = ept.clear_dirty([0])
+    assert n == 1
+    assert set(ept.dirty_gpfns()) == {1}
+    # Re-armed page logs again on the next write.
+    newly = ept.touch(np.array([0]), np.array([True]))
+    assert list(newly) == [0]
+
+
+def test_clear_dirty_all():
+    ept = Ept(8)
+    ept.map([0, 1, 2], [10, 11, 12])
+    ept.touch(np.array([0, 1, 2]), np.array([True, True, False]))
+    assert ept.clear_dirty() == 2
+    assert ept.dirty_gpfns().size == 0
+
+
+def test_out_of_range_gpfn():
+    ept = Ept(4)
+    with pytest.raises(InvalidAddressError):
+        ept.map([4], [0])
+
+
+def test_zero_frames_rejected():
+    with pytest.raises(ConfigurationError):
+        Ept(0)
+
+
+def test_length_mismatch():
+    ept = Ept(4)
+    with pytest.raises(ValueError):
+        ept.map([0, 1], [5])
+    ept.map([0, 1], [5, 6])
+    with pytest.raises(ValueError):
+        ept.touch(np.array([0, 1]), np.array([True]))

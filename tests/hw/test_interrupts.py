@@ -1,0 +1,62 @@
+"""Tests for the interrupt controller."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.costs import EV_SELF_IPI, CostModel
+from repro.errors import ConfigurationError
+from repro.hw.interrupts import InterruptController
+
+
+@pytest.fixture()
+def ic():
+    return InterruptController(SimClock(), CostModel())
+
+
+def test_register_and_post(ic):
+    got = []
+    ic.register(0x20, got.append)
+    assert ic.post(0x20)
+    assert got == [0x20]
+    assert ic.n_posted == 1
+
+
+def test_post_unregistered_returns_false_but_counts(ic):
+    assert not ic.post(0x21)
+    assert ic.n_posted == 1
+
+
+def test_posted_interrupt_charged(ic):
+    ic.register(0x20, lambda v: None)
+    ic.post(0x20)
+    assert ic._clock.event_count(EV_SELF_IPI) == 1
+    assert ic._clock.now_us > 0
+
+
+def test_virtual_injection_not_charged_as_self_ipi(ic):
+    ic.register(0x30, lambda v: None)
+    assert ic.inject_virtual(0x30)
+    assert ic.n_virtual == 1
+    assert ic._clock.event_count(EV_SELF_IPI) == 0
+
+
+def test_unregister(ic):
+    ic.register(0x20, lambda v: None)
+    ic.unregister(0x20)
+    assert not ic.post(0x20)
+
+
+def test_vector_range_validated(ic):
+    with pytest.raises(ConfigurationError):
+        ic.register(0x100, lambda v: None)
+    with pytest.raises(ConfigurationError):
+        ic.register(-1, lambda v: None)
+
+
+def test_handler_exceptions_propagate(ic):
+    def boom(v):
+        raise RuntimeError("handler failed")
+
+    ic.register(0x20, boom)
+    with pytest.raises(RuntimeError):
+        ic.post(0x20)

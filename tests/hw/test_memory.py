@@ -1,0 +1,112 @@
+"""Tests for physical memory and frame allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InvalidAddressError, OutOfFramesError
+from repro.hw.memory import FrameAllocator, PhysicalMemory
+
+
+def test_alloc_free_roundtrip():
+    fa = FrameAllocator(16)
+    frames = fa.alloc(10)
+    assert len(frames) == 10
+    assert fa.n_free == 6
+    assert len(np.unique(frames)) == 10
+    fa.free(frames)
+    assert fa.n_free == 16
+
+
+def test_alloc_exhaustion():
+    fa = FrameAllocator(4)
+    fa.alloc(4)
+    with pytest.raises(OutOfFramesError):
+        fa.alloc(1)
+
+
+def test_double_free_rejected():
+    fa = FrameAllocator(4)
+    f = fa.alloc(2)
+    fa.free(f)
+    with pytest.raises(InvalidAddressError):
+        fa.free(f)
+
+
+def test_free_out_of_range_rejected():
+    fa = FrameAllocator(4)
+    with pytest.raises(InvalidAddressError):
+        fa.free([99])
+
+
+def test_zero_frames_rejected():
+    with pytest.raises(ConfigurationError):
+        FrameAllocator(0)
+
+
+def test_alloc_zero_is_empty():
+    fa = FrameAllocator(4)
+    assert fa.alloc(0).size == 0
+
+
+def test_write_changes_content_tokens():
+    pm = PhysicalMemory(8)
+    frames = pm.alloc(3)
+    before = pm.read(frames)
+    assert np.all(before == 0)  # fresh frames are zeroed
+    pm.write(frames)
+    after = pm.read(frames)
+    assert np.all(after != before)
+    # Writing again produces yet different tokens.
+    pm.write(frames[:1])
+    assert pm.read(frames[:1])[0] != after[0]
+
+
+def test_distinct_writes_get_distinct_tokens():
+    pm = PhysicalMemory(8)
+    frames = pm.alloc(4)
+    pm.write(frames)
+    toks = pm.read(frames)
+    assert len(np.unique(toks)) == 4
+
+
+def test_store_restores_exact_tokens():
+    pm = PhysicalMemory(8)
+    src = pm.alloc(3)
+    pm.write(src)
+    saved = pm.read(src)
+    dst = pm.alloc(3)
+    pm.store(dst, saved)
+    assert np.array_equal(pm.read(dst), saved)
+
+
+def test_store_length_mismatch():
+    pm = PhysicalMemory(8)
+    f = pm.alloc(2)
+    with pytest.raises(ValueError):
+        pm.store(f, np.array([1], dtype=np.uint64))
+
+
+def test_realloc_zeroes_frames():
+    pm = PhysicalMemory(4)
+    f = pm.alloc(2)
+    pm.write(f)
+    pm.free(f)
+    g = pm.alloc(2)
+    assert np.all(pm.read(g) == 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=8), max_size=10))
+def test_property_allocator_never_hands_out_same_frame_twice(sizes):
+    fa = FrameAllocator(128)
+    held: set[int] = set()
+    for n in sizes:
+        if n > fa.n_free:
+            break
+        got = fa.alloc(n)
+        for f in got:
+            assert int(f) not in held
+            held.add(int(f))
+    assert fa.n_allocated == len(held)

@@ -1,0 +1,129 @@
+"""Tests for the PML circuit (original + EPML extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PmlError
+from repro.hw import vmcs as vm
+from repro.hw.pml import PmlBuffer, PmlCircuit
+
+
+def make_circuit(capacity=8) -> tuple[PmlCircuit, list, list]:
+    v = vm.Vmcs()
+    c = PmlCircuit(v, capacity=capacity)
+    hyp_drains: list[np.ndarray] = []
+    guest_drains: list[np.ndarray] = []
+    c.on_hyp_full = hyp_drains.append
+    c.on_guest_full = guest_drains.append
+    return c, hyp_drains, guest_drains
+
+
+def test_buffer_index_counts_down_from_top():
+    b = PmlBuffer(8)
+    assert b.index == 7
+    b.append(np.array([1, 2, 3], dtype=np.uint64))
+    assert b.index == 4
+    assert b.n_logged == 3
+
+
+def test_buffer_drain_returns_logging_order():
+    b = PmlBuffer(8)
+    b.append(np.array([10, 20, 30], dtype=np.uint64))
+    assert list(b.drain()) == [10, 20, 30]
+    assert b.index == 7  # reset
+
+
+def test_disabled_circuit_logs_nothing():
+    c, hyp, _ = make_circuit()
+    c.configure_hyp_buffer()
+    c.log_gpas(np.array([1, 2, 3]))
+    assert c.n_hyp_logged == 0
+    assert c.drain_hyp().size == 0
+
+
+def test_enabled_circuit_logs_and_updates_vmcs_index():
+    c, hyp, _ = make_circuit()
+    c.configure_hyp_buffer()
+    c.vmcs.write(vm.F_CTRL_ENABLE_PML, 1)
+    c.log_gpas(np.array([5, 6]))
+    assert c.n_hyp_logged == 2
+    assert c.vmcs.read(vm.F_PML_INDEX) == 8 - 1 - 2
+    assert list(c.drain_hyp()) == [5, 6]
+    assert c.vmcs.read(vm.F_PML_INDEX) == 7
+
+
+def test_buffer_full_raises_vmexit_callback():
+    c, hyp, _ = make_circuit(capacity=4)
+    c.configure_hyp_buffer()
+    c.vmcs.write(vm.F_CTRL_ENABLE_PML, 1)
+    c.log_gpas(np.arange(10))
+    # 10 entries through a 4-slot buffer: full events at 4 and 8.
+    assert c.n_hyp_full_events == 2
+    assert [list(d) for d in hyp] == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    assert list(c.drain_hyp()) == [8, 9]
+
+
+def test_exactly_full_buffer_drains_once():
+    c, hyp, _ = make_circuit(capacity=4)
+    c.configure_hyp_buffer()
+    c.vmcs.write(vm.F_CTRL_ENABLE_PML, 1)
+    c.log_gpas(np.arange(4))
+    assert c.n_hyp_full_events == 1
+    assert c.drain_hyp().size == 0
+
+
+def test_guest_buffer_independent_of_hyp_buffer():
+    c, hyp, guest = make_circuit(capacity=4)
+    c.configure_hyp_buffer()
+    c.configure_guest_buffer()
+    c.vmcs.write(vm.F_CTRL_ENABLE_GUEST_PML, 1)  # only guest-level enabled
+    c.log_gpas(np.arange(6))
+    c.log_gvas(np.arange(100, 106))
+    assert c.n_hyp_logged == 0
+    assert c.n_guest_logged == 6
+    assert c.n_guest_full_events == 1
+    assert [list(d) for d in guest] == [[100, 101, 102, 103]]
+    assert list(c.drain_guest()) == [104, 105]
+
+
+def test_epml_controls_read_from_shadow_vmcs():
+    """With a linked shadow VMCS, enables live in the shadow (EPML)."""
+    ordinary = vm.Vmcs()
+    shadow = vm.Vmcs(is_shadow=True)
+    ordinary.link_shadow(shadow)
+    c = PmlCircuit(ordinary, capacity=4)
+    c.configure_guest_buffer()
+    assert not c.guest_enabled()
+    shadow.write(vm.F_CTRL_ENABLE_GUEST_PML, 1)
+    assert c.guest_enabled()
+
+
+def test_enabled_without_buffer_raises():
+    c, _, _ = make_circuit()
+    c.vmcs.write(vm.F_CTRL_ENABLE_PML, 1)
+    with pytest.raises(PmlError):
+        c.log_gpas(np.array([1]))
+
+
+def test_full_without_handler_raises():
+    v = vm.Vmcs()
+    c = PmlCircuit(v, capacity=2)
+    c.configure_hyp_buffer()
+    v.write(vm.F_CTRL_ENABLE_PML, 1)
+    with pytest.raises(PmlError):
+        c.log_gpas(np.arange(3))
+
+
+def test_no_loss_across_many_batches():
+    """Everything logged is either drained via full events or residual."""
+    c, hyp, _ = make_circuit(capacity=16)
+    c.configure_hyp_buffer()
+    c.vmcs.write(vm.F_CTRL_ENABLE_PML, 1)
+    rng = np.random.default_rng(0)
+    sent: list[int] = []
+    for _ in range(20):
+        batch = rng.integers(0, 1 << 40, size=rng.integers(0, 50))
+        c.log_gpas(batch.astype(np.uint64))
+        sent.extend(int(x) for x in batch)
+    got = [int(x) for d in hyp for x in d] + [int(x) for x in c.drain_hyp()]
+    assert got == sent

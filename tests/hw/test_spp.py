@@ -1,0 +1,53 @@
+"""Tests for the SPP sub-page permission table."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.hw.spp import SUBPAGE_BYTES, SUBPAGES_PER_PAGE, SppTable
+
+
+def test_geometry():
+    assert SUBPAGES_PER_PAGE * SUBPAGE_BYTES == 4096
+
+
+def test_unprotected_pages_allow_everything():
+    t = SppTable(8)
+    assert t.check_write(0, 0)
+    assert t.check_write(7, 31)
+    assert t.n_violations == 0
+
+
+def test_protect_vector_semantics():
+    t = SppTable(8)
+    t.protect(3, 0b101)  # sub-pages 0 and 2 writable
+    assert t.check_write(3, 0)
+    assert not t.check_write(3, 1)
+    assert t.check_write(3, 2)
+    assert not t.check_write(3, 31)
+    assert t.n_violations == 2
+
+
+def test_unprotect_restores_full_access():
+    t = SppTable(8)
+    t.protect(1, 0)
+    assert not t.check_write(1, 5)
+    t.unprotect(1)
+    assert t.check_write(1, 5)
+    assert t.is_protected(1) is False
+
+
+def test_vector_allowing_builder():
+    vec = SppTable.vector_allowing([0, 3, 31])
+    assert vec == (1 << 0) | (1 << 3) | (1 << 31)
+    with pytest.raises(InvalidAddressError):
+        SppTable.vector_allowing([32])
+
+
+def test_bounds_checks():
+    t = SppTable(4)
+    with pytest.raises(InvalidAddressError):
+        t.protect(4, 0)
+    with pytest.raises(InvalidAddressError):
+        t.check_write(0, 32)
+    with pytest.raises(ConfigurationError):
+        SppTable(0)

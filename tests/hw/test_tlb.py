@@ -1,0 +1,29 @@
+"""Tests for the TLB model."""
+
+import numpy as np
+
+from repro.hw.tlb import Tlb
+
+
+def test_fill_and_cached_mask():
+    tlb = Tlb(8)
+    tlb.fill(np.array([1, 3]))
+    assert list(tlb.cached_mask(np.array([0, 1, 3]))) == [False, True, True]
+    assert tlb.n_cached == 2
+    assert tlb.n_fills == 2
+
+
+def test_invalidate_selected():
+    tlb = Tlb(8)
+    tlb.fill(np.array([1, 2, 3]))
+    tlb.invalidate(np.array([2]))
+    assert list(tlb.cached_mask(np.array([1, 2, 3]))) == [True, False, True]
+
+
+def test_flush_clears_everything_and_counts():
+    tlb = Tlb(8)
+    tlb.fill(np.array([0, 1, 2]))
+    tlb.flush()
+    tlb.flush()
+    assert tlb.n_cached == 0
+    assert tlb.n_flushes == 2

@@ -1,0 +1,69 @@
+"""Tests for VMCS fields and shadowing."""
+
+import pytest
+
+from repro.errors import VmcsError
+from repro.hw import vmcs as vm
+
+
+def test_default_fields():
+    v = vm.Vmcs()
+    assert v.read(vm.F_PML_INDEX) == vm.PML_INDEX_START == 511
+    assert v.read(vm.F_CTRL_ENABLE_PML) == 0
+
+
+def test_read_write_roundtrip():
+    v = vm.Vmcs()
+    v.write(vm.F_PML_ADDRESS, 42)
+    assert v.read(vm.F_PML_ADDRESS) == 42
+
+
+def test_unknown_field_rejected():
+    v = vm.Vmcs()
+    with pytest.raises(VmcsError):
+        v.read("no_such_field")
+    with pytest.raises(VmcsError):
+        v.write("no_such_field", 1)
+
+
+def test_link_shadow():
+    ordinary = vm.Vmcs(name="ord")
+    shadow = vm.Vmcs(name="sh", is_shadow=True)
+    ordinary.link_shadow(shadow)
+    assert ordinary.link is shadow
+    assert ordinary.read(vm.F_VMCS_LINK_POINTER) != 0
+    assert not ordinary.shadowing_enabled()  # control bit still clear
+    ordinary.write(vm.F_CTRL_ENABLE_VMCS_SHADOWING, 1)
+    assert ordinary.shadowing_enabled()
+
+
+def test_shadowing_requires_link():
+    v = vm.Vmcs()
+    v.write(vm.F_CTRL_ENABLE_VMCS_SHADOWING, 1)
+    assert not v.shadowing_enabled()
+
+
+def test_link_rules():
+    ordinary = vm.Vmcs()
+    not_shadow = vm.Vmcs()
+    with pytest.raises(VmcsError):
+        ordinary.link_shadow(not_shadow)
+    shadow = vm.Vmcs(is_shadow=True)
+    with pytest.raises(VmcsError):
+        shadow.link_shadow(vm.Vmcs(is_shadow=True))
+
+
+def test_expose_to_guest_bitmaps():
+    v = vm.Vmcs()
+    v.expose_to_guest({vm.F_GUEST_PML_ADDRESS}, readable=True, writable=True)
+    v.expose_to_guest({vm.F_GUEST_PML_INDEX}, writable=False)
+    assert vm.F_GUEST_PML_ADDRESS in v.shadow_read_fields
+    assert vm.F_GUEST_PML_ADDRESS in v.shadow_write_fields
+    assert vm.F_GUEST_PML_INDEX in v.shadow_read_fields
+    assert vm.F_GUEST_PML_INDEX not in v.shadow_write_fields
+
+
+def test_expose_unknown_field_rejected():
+    v = vm.Vmcs()
+    with pytest.raises(VmcsError):
+        v.expose_to_guest({"bogus"})

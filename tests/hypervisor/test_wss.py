@@ -1,0 +1,68 @@
+"""Tests for accessed-bit working-set-size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hypervisor.wss import WssEstimator
+
+
+def test_wss_counts_touched_pages(stack):
+    proc = stack.kernel.spawn("app", n_pages=256)
+    proc.space.add_vma(256)
+    stack.kernel.access(proc, np.arange(256), True)  # populate
+    est = WssEstimator(stack.vm)
+
+    def interval():
+        stack.kernel.access(proc, np.arange(64), False)  # reads count too
+
+    s = est.sample(interval)
+    assert s.accessed_pages == 64
+    assert s.accessed_mb == pytest.approx(64 * 4096 / 2**20)
+
+
+def test_wss_tracks_shrinking_working_set(stack):
+    proc = stack.kernel.spawn("app", n_pages=256)
+    proc.space.add_vma(256)
+    stack.kernel.access(proc, np.arange(256), True)
+    est = WssEstimator(stack.vm)
+    sizes = iter([128, 64, 32])
+
+    def interval():
+        stack.kernel.access(proc, np.arange(next(sizes)), False)
+
+    counts = [est.sample(interval).accessed_pages for _ in range(3)]
+    assert counts == [128, 64, 32]
+
+
+def test_wss_estimate_averages(stack):
+    proc = stack.kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    stack.kernel.access(proc, np.arange(64), True)
+    est = WssEstimator(stack.vm)
+    avg = est.estimate(lambda: stack.kernel.access(proc, np.arange(16), False),
+                       intervals=4)
+    assert avg == pytest.approx(16.0)
+    assert len(est.samples) == 4
+
+
+def test_wss_validation(stack):
+    est = WssEstimator(stack.vm)
+    with pytest.raises(ConfigurationError):
+        est.estimate(lambda: None, intervals=0)
+
+
+def test_wss_does_not_break_pml_tracking(stack):
+    """Accessed-bit sampling must not disturb dirty-bit logging."""
+    from repro.core.tracking import Technique, make_tracker
+
+    proc = stack.kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    stack.kernel.access(proc, np.arange(64), True)
+    tracker = make_tracker(Technique.EPML, stack.kernel, proc)
+    tracker.start()
+    est = WssEstimator(stack.vm)
+    est.sample(lambda: stack.kernel.access(proc, [1, 2], True))
+    dirty = set(int(v) for v in tracker.collect())
+    tracker.stop()
+    assert dirty == {1, 2}

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import World
+from repro.core.tracking import Technique, make_tracker
+from repro.experiments.harness import build_stack
+from repro.trackers.boehm import BoehmGc, GcHeap, GcParams
+from repro.trackers.criu import Criu, restore
+from repro.workloads import FlatContext, GcContext, make_workload
+
+
+def test_full_stack_checkpoint_of_running_workload():
+    """Workload -> tracking -> incremental dump -> restore -> verify."""
+    stack = build_stack(vm_mb=1024)
+    workload = make_workload("stdhash", "small", scale=0.003)
+    proc = stack.kernel.spawn("kv", n_pages=workload.footprint_pages + 64)
+    ctx = FlatContext(stack.kernel, proc)
+
+    criu = Criu(stack.kernel, Technique.EPML)
+    session = criu.begin(proc)
+    workload.run(ctx)
+    session.dump()
+    # More work after the first dump, then a second incremental dump.
+    stack.kernel.access(proc, np.arange(100), True)
+    report2 = session.dump()
+    image = session.finish()
+    assert report2.pages_dumped >= 100
+
+    clone = restore(stack.kernel, image)
+    a = stack.kernel.vm.mmu.read_page_contents(
+        proc.space.pt, proc.space.mapped_vpns())
+    b = stack.kernel.vm.mmu.read_page_contents(
+        clone.space.pt, clone.space.mapped_vpns())
+    assert np.array_equal(a, b)
+
+
+def test_two_processes_one_tracked_one_noisy():
+    """Per-process granularity (challenge C2): a noisy neighbour's writes
+    never leak into the tracked process's dirty set."""
+    stack = build_stack(vm_mb=128)
+    tracked = stack.kernel.spawn("tracked", n_pages=64)
+    tracked.space.add_vma(64)
+    noisy = stack.kernel.spawn("noisy", n_pages=64)
+    noisy.space.add_vma(64)
+    stack.kernel.access(tracked, np.arange(64), True)
+    stack.kernel.access(noisy, np.arange(64), True)
+
+    for technique in (Technique.PROC, Technique.UFD, Technique.SPML,
+                      Technique.EPML):
+        tracker = make_tracker(technique, stack.kernel, tracked)
+        with tracker:
+            stack.kernel.access(noisy, np.arange(32), True)
+            stack.kernel.access(tracked, [5], True)
+            dirty = set(int(v) for v in tracker.collect())
+        assert dirty == {5}, technique
+
+
+def test_gc_and_criu_on_the_same_kernel():
+    """Two tracker systems over different processes in one guest."""
+    stack = build_stack(vm_mb=256)
+    # Process A: GC-managed.
+    proc_a = stack.kernel.spawn("gc-app", n_pages=4096)
+    heap = GcHeap(stack.kernel, proc_a, heap_pages=2048)
+    ids = heap.alloc(500, 128)
+    heap.set_refs(ids[:-1], ids[1:])
+    heap.add_roots(ids[:1])
+    gc = BoehmGc(stack.kernel, heap, Technique.PROC,
+                 GcParams(threshold_bytes=4096))
+    # Process B: checkpointed.
+    proc_b = stack.kernel.spawn("db", n_pages=256)
+    proc_b.space.add_vma(256)
+    stack.kernel.access(proc_b, np.arange(256), True)
+
+    with gc:
+        gc.collect()
+        image, report = Criu(stack.kernel, Technique.PROC).checkpoint(proc_b)
+        heap.write_objs(ids[:100])
+        gc.collect()
+    assert report.pages_dumped >= 256
+    assert len(gc.cycles) == 2
+    clone = restore(stack.kernel, image)
+    assert clone.space.rss_pages == 256
+
+
+def test_simulated_time_is_deterministic():
+    outcomes = []
+    for _ in range(2):
+        stack = build_stack(vm_mb=512)
+        workload = make_workload("cache", "small", scale=0.002)
+        proc = stack.kernel.spawn("kv", n_pages=workload.footprint_pages + 64)
+        tracker = make_tracker(Technique.SPML, stack.kernel, proc)
+        tracker.start()
+        workload.run(FlatContext(stack.kernel, proc))
+        dirty = tracker.collect()
+        tracker.stop()
+        outcomes.append((stack.clock.now_us, int(dirty.size),
+                         stack.clock.events().get("vmexit", 0)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_world_times_sum_to_wall_time():
+    """Accounting invariant: per-world charges partition wall time."""
+    stack = build_stack(vm_mb=512)
+    workload = make_workload("tiny", "small", scale=0.002)
+    proc = stack.kernel.spawn("kv", n_pages=workload.footprint_pages + 64)
+    tracker = make_tracker(Technique.SPML, stack.kernel, proc)
+    tracker.start()
+    workload.run(FlatContext(stack.kernel, proc))
+    tracker.collect()
+    tracker.stop()
+    total = sum(stack.clock.world_us(w) for w in World)
+    assert total == pytest.approx(stack.clock.now_us)
+
+
+def test_guest_frames_never_leak_across_checkpoint_cycles():
+    stack = build_stack(vm_mb=128)
+    free_start = stack.vm.guest_frames.n_free
+    for _ in range(3):
+        proc = stack.kernel.spawn("app", n_pages=64)
+        proc.space.add_vma(64)
+        stack.kernel.access(proc, np.arange(64), True)
+        image, _ = Criu(stack.kernel, Technique.EPML).checkpoint(proc)
+        clone = restore(stack.kernel, image)
+        stack.kernel.exit_process(proc)
+        stack.kernel.exit_process(clone)
+    assert stack.vm.guest_frames.n_free == free_start

@@ -1,0 +1,117 @@
+"""Property-based tests: technique equivalence under random workloads.
+
+The load-bearing invariant of the whole reproduction: for ANY sequence of
+page accesses and collection points, every technique reports exactly the
+pages the oracle saw written in each interval — they differ only in cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import SimClock, World
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique, make_tracker
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+
+N_PAGES = 128
+
+
+def fresh_stack():
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=64)
+    vm = hv.create_vm("vm0", mem_mb=16)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn("app", n_pages=N_PAGES)
+    proc.space.add_vma(N_PAGES)
+    kernel.access(proc, np.arange(N_PAGES), True)
+    return kernel, proc
+
+
+# A step is either an access batch (pages + write flag) or a collect.
+step_strategy = st.one_of(
+    st.tuples(
+        st.just("access"),
+        st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=30),
+        st.booleans(),
+    ),
+    st.tuples(st.just("collect"), st.just([]), st.just(False)),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=st.lists(step_strategy, min_size=1, max_size=25))
+@pytest.mark.parametrize(
+    "technique",
+    [Technique.PROC, Technique.UFD, Technique.SPML, Technique.EPML],
+)
+def test_property_interval_equivalence_with_oracle(technique, steps):
+    kernel, proc = fresh_stack()
+    oracle = make_tracker(Technique.ORACLE, kernel, proc)
+    tech = make_tracker(technique, kernel, proc)
+    oracle.start()
+    tech.start()
+    oracle.collect()  # align interval starts
+    try:
+        for kind, pages, write in steps:
+            if kind == "access":
+                kernel.access(proc, pages, write)
+            else:
+                got = set(int(v) for v in tech.collect())
+                truth = set(int(v) for v in oracle.collect())
+                assert got == truth
+        # Final interval.
+        got = set(int(v) for v in tech.collect())
+        truth = set(int(v) for v in oracle.collect())
+        assert got == truth
+    finally:
+        tech.stop()
+        oracle.stop()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pages=st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=60),
+)
+def test_property_wall_time_ordering(pages):
+    """For one write-heavy interval, tracked wall time orders
+    oracle <= epml <= proc (the paper's cheap-to-expensive order for
+    collection-light runs)."""
+    walls = {}
+    for technique in (Technique.ORACLE, Technique.EPML, Technique.PROC):
+        kernel, proc = fresh_stack()
+        tracker = make_tracker(technique, kernel, proc)
+        tracker.start()
+        t0 = kernel.clock.now_us
+        kernel.access(proc, pages, True)
+        kernel.compute(proc, 100.0)
+        tracker.collect()
+        walls[technique] = kernel.clock.now_us - t0
+        tracker.stop()
+    assert walls[Technique.ORACLE] <= walls[Technique.EPML] + 1e-9
+    assert walls[Technique.EPML] <= walls[Technique.PROC] + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_batches=st.integers(1, 6),
+)
+def test_property_charges_are_nonnegative_and_partition(seed, n_batches):
+    """Accounting safety under random load: time never decreases and the
+    world breakdown always sums to the wall clock."""
+    kernel, proc = fresh_stack()
+    rng = np.random.default_rng(seed)
+    tracker = make_tracker(Technique.SPML, kernel, proc)
+    tracker.start()
+    last = kernel.clock.now_us
+    for _ in range(n_batches):
+        kernel.access(proc, rng.integers(0, N_PAGES, size=20), True)
+        assert kernel.clock.now_us >= last
+        last = kernel.clock.now_us
+    tracker.collect()
+    tracker.stop()
+    total = sum(kernel.clock.world_us(w) for w in World)
+    assert total == pytest.approx(kernel.clock.now_us)

@@ -1,0 +1,124 @@
+"""Security & isolation tests mapping the paper's §V claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.ooh import OohKind, OohLib, OohModule
+from repro.core.tracking import Technique, make_tracker
+from repro.errors import VmcsError
+from repro.guest.kernel import GuestKernel
+from repro.hw import vmcs as vmcsf
+from repro.hypervisor.hypervisor import Hypervisor
+
+
+def two_vm_stacks():
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=256)
+    vms = [hv.create_vm(f"vm{i}", mem_mb=32) for i in range(2)]
+    kernels = [GuestKernel(vm) for vm in vms]
+    return hv, vms, kernels
+
+
+def test_guest_never_sees_host_physical_addresses():
+    """§V item 2: SPML logs GPAs and EPML logs GVAs; HPAs stay with the
+    hypervisor.  The second VM's host frames are disjoint from its guest
+    frame numbers, so leakage would be visible."""
+    hv, vms, kernels = two_vm_stacks()
+    vm, kernel = vms[1], kernels[1]
+    proc = kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    kernel.access(proc, np.arange(64), True)
+
+    module = OohModule(kernel)
+    att = module.attach(proc, OohKind.SPML)
+    kernel.access(proc, np.arange(16), True)
+    module._spml_disable(proc)  # flush PML buffer into the ring
+    entries = vm.spml_ring.peek_all().astype(np.int64)
+    assert entries.size > 0
+    # Every logged value is a guest frame number of THIS VM...
+    assert entries.max() < vm.mem_pages
+    gpfns = set(int(g) for g in proc.space.pt.translate(np.arange(16)))
+    assert set(int(e) for e in entries) <= gpfns
+    # ...and none equals the corresponding host frame (disjoint ranges).
+    hpfns = set(int(h) for h in vm.ept.translate(entries))
+    assert not (set(int(e) for e in entries) & hpfns)
+    att.detach()
+
+
+def test_per_guest_ring_isolation():
+    """§V: 'a guest can only see logged addresses that belong to its
+    address space' — each VM has its own ring."""
+    hv, vms, kernels = two_vm_stacks()
+    modules = [OohModule(k) for k in kernels]
+    procs = []
+    atts = []
+    for i, (k, m) in enumerate(zip(kernels, modules)):
+        p = k.spawn("app", n_pages=64)
+        p.space.add_vma(64)
+        procs.append(p)
+        atts.append(m.attach(p, OohKind.SPML))
+    kernels[0].access(procs[0], [1, 2, 3], True)
+    kernels[1].access(procs[1], [40, 41], True)
+    d0 = set(int(v) for v in atts[0].collect())
+    d1 = set(int(v) for v in atts[1].collect())
+    assert d0 == {1, 2, 3}
+    assert d1 == {40, 41}
+    assert vms[0].spml_ring is not vms[1].spml_ring
+    for a in atts:
+        a.detach()
+
+
+def test_guest_cannot_touch_hypervisor_vmcs_fields(stack):
+    """VMCS shadowing exposes only the guest-PML fields; the hypervisor's
+    PML address/index and controls stay out of reach (§II/§V)."""
+    proc = stack.kernel.spawn("app", n_pages=16)
+    proc.space.add_vma(16)
+    tracker = make_tracker(Technique.EPML, stack.kernel, proc)
+    tracker.start()
+    vcpu = stack.vm.vcpu
+    for field in (vmcsf.F_PML_ADDRESS, vmcsf.F_PML_INDEX,
+                  vmcsf.F_CTRL_ENABLE_PML,
+                  vmcsf.F_CTRL_ENABLE_VMCS_SHADOWING):
+        with pytest.raises(VmcsError):
+            vcpu.vmwrite(field, 1)
+    tracker.stop()
+
+
+def test_per_process_ring_restricted_to_tracked_process(stack):
+    """§V final paragraph: per-process ring buffers prevent a tracked
+    process from learning a co-tenant's access pattern."""
+    a = stack.kernel.spawn("a", n_pages=64)
+    a.space.add_vma(64)
+    b = stack.kernel.spawn("b", n_pages=64)
+    b.space.add_vma(64)
+    stack.kernel.access(a, np.arange(64), True)
+    stack.kernel.access(b, np.arange(64), True)
+    lib = OohLib(OohModule(stack.kernel))
+    att = lib.attach(a, OohKind.EPML)
+    # b runs while a is descheduled (hooks toggle logging off).
+    stack.kernel.scheduler.switch(a)
+    stack.vm.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+    stack.kernel.access(b, [10, 11, 12], True)
+    stack.vm.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
+    stack.kernel.access(a, [5], True)
+    dirty = set(int(v) for v in lib.fetch(att))
+    assert dirty == {5}  # none of b's pattern leaked
+    lib.detach(att)
+
+
+def test_trust_model_tracked_cannot_disable_tracking(stack):
+    """The kernel module mediates the feature: a process has no path to
+    the VMCS or hypercalls except through the module's API (structural:
+    the only mutators live on OohModule / Hypervisor)."""
+    proc = stack.kernel.spawn("app", n_pages=16)
+    proc.space.add_vma(16)
+    tracker = make_tracker(Technique.SPML, stack.kernel, proc)
+    tracker.start()
+    # The tracked process writing its own memory cannot clear the
+    # enabled_by_guest coordination flag.
+    stack.kernel.access(proc, np.arange(16), True)
+    assert stack.vm.enabled_by_guest
+    tracker.stop()
+    assert not stack.vm.enabled_by_guest

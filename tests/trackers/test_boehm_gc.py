@@ -1,0 +1,186 @@
+"""Tests for the Boehm-style collector (full + minor cycles)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import Technique
+from repro.errors import GcError
+from repro.trackers.boehm import BoehmGc, GcHeap, GcParams
+
+TECHS = [Technique.PROC, Technique.UFD, Technique.SPML, Technique.EPML,
+         Technique.ORACLE]
+
+
+@pytest.fixture()
+def env(stack):
+    proc = stack.kernel.spawn("app", n_pages=1024)
+    heap = GcHeap(stack.kernel, proc, heap_pages=512)
+    return stack, heap
+
+
+def build_list(heap, n, size=256):
+    """Allocate a linked list rooted at its head; returns ids."""
+    ids = heap.alloc(n, size)
+    heap.set_refs(ids[:-1], ids[1:])
+    heap.add_roots(ids[:1])
+    return ids
+
+
+@pytest.mark.parametrize("technique", TECHS)
+def test_full_collect_frees_unreachable(env, technique):
+    stack, heap = env
+    keep = build_list(heap, 10)
+    garbage = heap.alloc(20, 256)  # never rooted
+    gc = BoehmGc(stack.kernel, heap, technique)
+    with gc:
+        report = gc.collect()
+    assert report.kind == "full"
+    assert report.n_freed == 20
+    assert heap.n_live == 10
+    assert heap.alive[keep].all()
+    assert not heap.alive[garbage].any()
+
+
+@pytest.mark.parametrize("technique", TECHS)
+def test_minor_collect_frees_young_garbage_only(env, technique):
+    stack, heap = env
+    build_list(heap, 10)
+    gc = BoehmGc(stack.kernel, heap, technique)
+    with gc:
+        gc.collect()  # full: promotes survivors to old
+        young_garbage = heap.alloc(15, 256)
+        young_kept = heap.alloc(5, 256)
+        heap.add_roots(young_kept[:1])
+        heap.set_refs(young_kept[:-1], young_kept[1:])
+        report = gc.collect()
+        assert report.kind == "minor"
+        assert report.n_freed == 15
+        assert heap.alive[young_kept].all()
+        assert not heap.alive[young_garbage].any()
+        assert heap.n_live == 15
+
+
+@pytest.mark.parametrize("technique", TECHS)
+def test_minor_collect_sees_old_to_young_references(env, technique):
+    """The write-barrier invariant: a young object kept alive only by an
+    old object must survive a minor cycle (the old page is dirty)."""
+    stack, heap = env
+    old = build_list(heap, 4)
+    gc = BoehmGc(stack.kernel, heap, technique)
+    with gc:
+        gc.collect()  # old generation established
+        young = heap.alloc(3, 256)
+        heap.set_refs(young[:-1], young[1:])
+        # Only reference: from an old object (dirties the old page).
+        heap.set_refs(old[-1:], young[:1])
+        report = gc.collect()
+        assert heap.alive[young].all(), "young chain wrongly collected"
+        assert report.n_freed == 0
+
+
+def test_minor_cycle_scans_far_less_than_full(env):
+    stack, heap = env
+    build_list(heap, 2000, size=64)
+    gc = BoehmGc(stack.kernel, heap, Technique.ORACLE)
+    with gc:
+        full = gc.collect()
+        heap.alloc(10, 64)
+        minor = gc.collect()
+    assert minor.n_visited < full.n_visited / 10
+    assert minor.n_scanned_pages < full.n_scanned_pages
+
+
+def test_threshold_trigger(env):
+    stack, heap = env
+    build_list(heap, 4)
+    gc = BoehmGc(
+        stack.kernel, heap, Technique.ORACLE,
+        GcParams(threshold_bytes=16 * 1024),
+    )
+    with gc:
+        assert gc.maybe_collect() is None or heap.allocated_bytes_since_gc == 0
+        heap.alloc(100, 256)  # 25 KiB > threshold
+        report = gc.maybe_collect()
+        assert report is not None
+        assert heap.allocated_bytes_since_gc == 0
+
+
+def test_full_every_forces_periodic_full(env):
+    stack, heap = env
+    build_list(heap, 4)
+    gc = BoehmGc(
+        stack.kernel, heap, Technique.ORACLE, GcParams(full_every=2)
+    )
+    with gc:
+        kinds = [gc.collect().kind for _ in range(4)]
+    assert kinds == ["full", "minor", "full", "minor"]
+
+
+def test_collect_before_start_rejected(env):
+    stack, heap = env
+    gc = BoehmGc(stack.kernel, heap)
+    with pytest.raises(GcError):
+        gc.collect()
+    gc.start()
+    with pytest.raises(GcError):
+        gc.start()
+    gc.stop()
+
+
+def test_pause_times_recorded(env):
+    stack, heap = env
+    build_list(heap, 100)
+    gc = BoehmGc(stack.kernel, heap, Technique.PROC)
+    with gc:
+        gc.collect()
+        heap.alloc(10, 256)
+        gc.collect()
+    assert len(gc.cycles) == 2
+    assert all(c.pause_us > 0 for c in gc.cycles)
+    assert gc.total_gc_us == pytest.approx(sum(c.pause_us for c in gc.cycles))
+
+
+def test_spml_first_cycle_dominates_later_cycles(env):
+    """Fig. 5's mechanism: SPML pays reverse mapping in the first cycle,
+    then reuses the cached translations."""
+    stack, heap = env
+    ids = build_list(heap, 3000, size=64)
+    gc = BoehmGc(stack.kernel, heap, Technique.SPML)
+    with gc:
+        # The app dirties its working set after tracking begins (as in
+        # the paper: Boehm tracks from application start).
+        heap.write_objs(ids)
+        first = gc.collect()
+        for i in range(3):
+            # Mutate existing objects: their GPA -> GVA translations are
+            # already cached, so later cycles skip the reverse mapping
+            # (the paper's "reuses the addresses collected during the
+            # first cycle").
+            heap.write_objs(ids[i::3])
+            gc.collect()
+    later_max = max(c.pause_us for c in gc.cycles[1:])
+    assert first.n_dirty_pages > 40
+    assert first.pause_us > 3 * later_max
+
+
+def test_memory_returns_to_heap_after_collect(env):
+    stack, heap = env
+    build_list(heap, 8, size=4096)
+    garbage = heap.alloc(64, 4096)
+    pages_before = heap._next_heap_vpn
+    gc = BoehmGc(stack.kernel, heap, Technique.ORACLE)
+    with gc:
+        gc.collect()
+    # Freed pages are reusable without growing the heap.
+    heap.alloc(64, 4096)
+    assert heap._next_heap_vpn == pages_before
+
+
+def test_gc_cycle_reports_live_after(env):
+    stack, heap = env
+    build_list(heap, 10)
+    heap.alloc(5, 256)
+    gc = BoehmGc(stack.kernel, heap, Technique.ORACLE)
+    with gc:
+        report = gc.collect()
+    assert report.live_after == 10 == heap.n_live

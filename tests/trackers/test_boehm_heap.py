@@ -1,0 +1,199 @@
+"""Tests for the GC heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.errors import GcError
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.trackers.boehm.heap import GEN_YOUNG, GcHeap
+
+
+@pytest.fixture()
+def heap(stack):
+    proc = stack.kernel.spawn("app", n_pages=512)
+    return GcHeap(stack.kernel, proc, heap_pages=256)
+
+
+def test_alloc_packs_small_objects(heap):
+    ids = heap.alloc(10, 512)  # 8 per page
+    pages = heap.obj_page[ids]
+    assert len(np.unique(pages)) == 2
+    assert heap.n_live == 10
+    assert heap.total_allocated_objects == 10
+
+
+def test_alloc_continues_partial_page(heap):
+    a = heap.alloc(3, 1024)  # 4 per page -> 1 slot left
+    b = heap.alloc(1, 1024)
+    assert heap.obj_page[b[0]] == heap.obj_page[a[0]]
+    c = heap.alloc(1, 1024)  # new page
+    assert heap.obj_page[c[0]] != heap.obj_page[a[0]]
+
+
+def test_alloc_large_objects_span_pages(heap):
+    ids = heap.alloc(2, 8192)  # 2 pages each
+    assert heap.obj_span[ids[0]] == 2
+    assert heap.obj_page[ids[1]] - heap.obj_page[ids[0]] == 2
+
+
+def test_alloc_dirty_pages_visible_to_tracking(stack, heap):
+    from repro.core.tracking import Technique, make_tracker
+
+    tracker = make_tracker(Technique.ORACLE, stack.kernel, heap.process)
+    with tracker:
+        ids = heap.alloc(4, 2048)
+        dirty = set(int(v) for v in tracker.collect())
+    assert set(int(p) for p in heap.obj_page[ids]) <= dirty
+
+
+def test_set_refs_and_neighbors(heap):
+    ids = heap.alloc(4, 256)
+    heap.set_refs([ids[0], ids[0], ids[1]], [ids[1], ids[2], ids[3]])
+    out = set(int(x) for x in heap.out_neighbors(ids[:1]))
+    assert out == {int(ids[1]), int(ids[2])}
+    assert heap.n_edges == 3
+
+
+def test_set_refs_validation(heap):
+    ids = heap.alloc(2, 256)
+    with pytest.raises(GcError):
+        heap.set_refs([ids[0]], [ids[0], ids[1]])
+    heap.free_objects(ids[1:])
+    with pytest.raises(GcError):
+        heap.set_refs([ids[0]], [ids[1]])
+
+
+def test_objects_on_pages(heap):
+    a = heap.alloc(8, 512)  # one page
+    b = heap.alloc(8, 512)  # next page
+    page_a = int(heap.obj_page[a[0]])
+    got = set(int(x) for x in heap.objects_on_pages(np.array([page_a])))
+    assert got == set(int(x) for x in a)
+
+
+def test_free_releases_empty_pages_and_reuses(stack, heap):
+    ids = heap.alloc(8, 512)  # exactly one page
+    page = int(heap.obj_page[ids[0]])
+    free_frames = stack.vm.guest_frames.n_free
+    heap.free_objects(ids)
+    assert heap.page_live[page] == 0
+    assert not heap.process.space.pt.present_mask([page]).any()
+    assert stack.vm.guest_frames.n_free == free_frames + 1
+    # Page and ids get reused.
+    again = heap.alloc(8, 512)
+    assert int(heap.obj_page[again[0]]) == page
+    assert set(int(x) for x in again) == set(int(x) for x in ids)
+
+
+def test_partial_free_keeps_page(heap):
+    ids = heap.alloc(8, 512)
+    page = int(heap.obj_page[ids[0]])
+    heap.free_objects(ids[:4])
+    assert heap.page_live[page] == 4
+    assert heap.process.space.pt.present_mask([page]).all()
+
+
+def test_double_free_rejected(heap):
+    ids = heap.alloc(2, 256)
+    heap.free_objects(ids)
+    with pytest.raises(GcError):
+        heap.free_objects(ids)
+
+
+def test_free_large_object_releases_all_span_pages(stack, heap):
+    ids = heap.alloc(1, 3 * 4096)
+    free_frames = stack.vm.guest_frames.n_free
+    heap.free_objects(ids)
+    assert stack.vm.guest_frames.n_free == free_frames + 3
+
+
+def test_roots_validation(heap):
+    ids = heap.alloc(2, 256)
+    heap.add_roots(ids[:1])
+    assert int(ids[0]) in heap.roots
+    heap.remove_roots(ids[:1])
+    heap.free_objects(ids[1:])
+    with pytest.raises(GcError):
+        heap.add_roots(ids[1:])
+
+
+def test_compact_edges_drops_dead(heap):
+    ids = heap.alloc(3, 256)
+    heap.set_refs([ids[0], ids[1]], [ids[1], ids[2]])
+    heap.free_objects(ids[1:2])
+    heap.compact_edges()
+    assert heap.n_edges == 0  # both edges touched the dead object
+
+
+def test_heap_exhaustion(stack):
+    proc = stack.kernel.spawn("small", n_pages=32)
+    heap = GcHeap(stack.kernel, proc, heap_pages=2)
+    heap.alloc(2, 4096)
+    with pytest.raises(GcError):
+        heap.alloc(1, 4096)
+
+
+def test_alloc_charges_tracked_compute(stack, heap):
+    from repro.core.clock import World
+
+    before = stack.clock.world_us(World.TRACKED)
+    heap.alloc(100, 64)
+    assert stack.clock.world_us(World.TRACKED) > before
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=50),
+            st.sampled_from([64, 256, 1024, 4096]),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_page_live_matches_objects(sizes):
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=64)
+    vm = hv.create_vm("vm", mem_mb=16)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn("p", n_pages=2048)
+    heap = GcHeap(kernel, proc, heap_pages=1024)
+    all_ids = []
+    for n, s in sizes:
+        all_ids.append(heap.alloc(n, s))
+    # page_live sums to the number of (object, page) incidences.
+    ids = np.concatenate(all_ids)
+    expected = int(heap.obj_span[ids].sum())
+    assert int(heap.page_live.sum()) == expected
+    # Free everything: all counts return to zero.
+    heap.free_objects(ids)
+    assert int(heap.page_live.sum()) == 0
+    assert heap.n_live == 0
+
+
+def test_replace_ref_swaps_pointer_cell(heap):
+    ids = heap.alloc(3, 256)
+    heap.set_refs(ids[:1], ids[1:2])
+    heap.replace_ref(int(ids[0]), int(ids[1]), int(ids[2]))
+    out = set(int(x) for x in heap.out_neighbors(ids[:1]))
+    assert out == {int(ids[2])}
+    assert heap.n_edges == 1
+    # Clearing to NULL drops the edge entirely.
+    heap.replace_ref(int(ids[0]), int(ids[2]), None)
+    assert heap.out_neighbors(ids[:1]).size == 0
+
+
+def test_replace_ref_validation(heap):
+    ids = heap.alloc(2, 256)
+    with pytest.raises(GcError):
+        heap.replace_ref(int(ids[0]), int(ids[1]), None)  # no such edge
+    heap.set_refs(ids[:1], ids[1:2])
+    heap.free_objects(ids[:1])
+    with pytest.raises(GcError):
+        heap.replace_ref(int(ids[0]), int(ids[1]), None)  # dead source

@@ -1,0 +1,93 @@
+"""Tests for checkpoint-image persistence and cross-VM restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique
+from repro.errors import CheckpointError
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.trackers.criu import CheckpointImage, Criu, restore
+
+
+def make_app(stack, n_pages=64):
+    proc = stack.kernel.spawn("app", n_pages=n_pages)
+    proc.space.add_vma(n_pages, "heap")
+    stack.kernel.access(proc, np.arange(n_pages), True)
+    return proc
+
+
+def test_image_save_load_roundtrip(stack, tmp_path):
+    proc = make_app(stack)
+    image, _ = Criu(stack.kernel, Technique.EPML).checkpoint(proc)
+    path = tmp_path / "app.img.npz"
+    image.save(path)
+    loaded = CheckpointImage.load(path)
+    assert loaded.pid == image.pid
+    assert loaded.name == image.name
+    assert loaded.space_pages == image.space_pages
+    assert [(v.start_vpn, v.n_pages, v.name) for v in loaded.vmas] == [
+        (v.start_vpn, v.n_pages, v.name) for v in image.vmas
+    ]
+    assert len(loaded.memory) == len(image.memory)
+    for a, b in zip(loaded.memory, image.memory):
+        assert np.array_equal(a.vpns, b.vpns)
+        assert np.array_equal(a.tokens, b.tokens)
+
+
+def test_restore_from_disk_matches_original(stack, tmp_path):
+    proc = make_app(stack)
+    expected = stack.kernel.vm.mmu.read_page_contents(
+        proc.space.pt, proc.space.mapped_vpns()
+    )
+    image, _ = Criu(stack.kernel, Technique.PROC).checkpoint(proc)
+    path = tmp_path / "app.img.npz"
+    image.save(path)
+    clone = restore(stack.kernel, CheckpointImage.load(path))
+    got = stack.kernel.vm.mmu.read_page_contents(
+        clone.space.pt, clone.space.mapped_vpns()
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_cross_vm_restore(stack, tmp_path):
+    """A checkpoint taken in one VM restores into another (process
+     'migration' via image file)."""
+    proc = make_app(stack)
+    expected = stack.kernel.vm.mmu.read_page_contents(
+        proc.space.pt, proc.space.mapped_vpns()
+    )
+    image, _ = Criu(stack.kernel, Technique.EPML).checkpoint(proc)
+    path = tmp_path / "app.img.npz"
+    image.save(path)
+
+    # An entirely separate host + VM.
+    clock2 = SimClock()
+    hv2 = Hypervisor(clock2, CostModel(), host_mem_mb=64)
+    vm2 = hv2.create_vm("dst", mem_mb=16)
+    kernel2 = GuestKernel(vm2)
+    clone = restore(kernel2, CheckpointImage.load(path))
+    got = kernel2.vm.mmu.read_page_contents(
+        clone.space.pt, clone.space.mapped_vpns()
+    )
+    assert np.array_equal(got, expected)
+    # And the restored process is runnable in its new home.
+    kernel2.access(clone, [0, 1], True)
+
+
+def test_load_corrupt_image_rejected(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez_compressed(path, junk=np.arange(4))
+    with pytest.raises(CheckpointError):
+        CheckpointImage.load(path)
+
+
+def test_empty_image_roundtrip(tmp_path):
+    image = CheckpointImage(pid=9, name="x", space_pages=16)
+    path = tmp_path / "empty.npz"
+    image.save(path)
+    loaded = CheckpointImage.load(path)
+    assert loaded.memory == []
+    assert loaded.space_pages == 16

@@ -1,0 +1,103 @@
+"""Tests for CRIU lazy restore (lazy-pages over userfaultfd MISSING)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import Technique
+from repro.errors import CheckpointError
+from repro.trackers.criu import Criu
+from repro.trackers.criu.images import CheckpointImage
+from repro.trackers.criu.lazy import lazy_restore
+
+
+def checkpointed_app(stack, n_pages=64):
+    proc = stack.kernel.spawn("app", n_pages=n_pages)
+    proc.space.add_vma(n_pages, "heap")
+    stack.kernel.access(proc, np.arange(n_pages), True)
+    image, _ = Criu(stack.kernel, Technique.EPML).checkpoint(proc)
+    return proc, image
+
+
+def test_lazy_restore_contents_materialise_on_touch(stack):
+    proc, image = checkpointed_app(stack)
+    lazy = lazy_restore(stack.kernel, image)
+    # Touch three pages: contents must match the original.
+    stack.kernel.access(lazy.process, [3, 7, 11], False)
+    got = stack.kernel.vm.mmu.read_page_contents(
+        lazy.process.space.pt, np.array([3, 7, 11])
+    )
+    want = stack.kernel.vm.mmu.read_page_contents(
+        proc.space.pt, np.array([3, 7, 11])
+    )
+    assert np.array_equal(got, want)
+    assert lazy.stats.pages_fetched == 3
+
+
+def test_untouched_pages_never_fetched(stack):
+    proc, image = checkpointed_app(stack)
+    lazy = lazy_restore(stack.kernel, image)
+    stack.kernel.access(lazy.process, np.arange(8), True)
+    assert lazy.stats.pages_fetched == 8
+    assert lazy.stats.image_pages == 64
+    assert lazy.stats.fetch_fraction == pytest.approx(8 / 64)
+    # Unvisited pages remain unmapped — no frames consumed for them.
+    assert lazy.process.space.rss_pages == 8
+
+
+def test_lazy_restore_writes_land_on_image_contents(stack):
+    proc, image = checkpointed_app(stack)
+    lazy = lazy_restore(stack.kernel, image)
+    # A write-first touch still fetches, then overwrites.
+    stack.kernel.access(lazy.process, [5], True)
+    got = stack.kernel.vm.mmu.read_page_contents(
+        lazy.process.space.pt, np.array([5])
+    )[0]
+    # Content differs from the image now (the new write), but the page
+    # was fetched first.
+    assert lazy.stats.pages_fetched == 1
+    assert int(got) != 0
+
+
+def test_full_walk_equals_eager_restore(stack):
+    proc, image = checkpointed_app(stack)
+    lazy = lazy_restore(stack.kernel, image)
+    stack.kernel.access(lazy.process, np.arange(64), False)
+    got = stack.kernel.vm.mmu.read_page_contents(
+        lazy.process.space.pt, np.arange(64)
+    )
+    want = stack.kernel.vm.mmu.read_page_contents(
+        proc.space.pt, np.arange(64)
+    )
+    assert np.array_equal(got, want)
+    assert lazy.stats.fetch_fraction == 1.0
+
+
+def test_finish_detaches_daemon(stack):
+    proc, image = checkpointed_app(stack)
+    lazy = lazy_restore(stack.kernel, image)
+    stack.kernel.access(lazy.process, [0], False)
+    lazy.finish()
+    # Later touches demand-zero instead of fetching.
+    stack.kernel.access(lazy.process, [1], False)
+    assert lazy.stats.pages_fetched == 1
+
+
+def test_lazy_restore_validation(stack):
+    with pytest.raises(CheckpointError):
+        lazy_restore(stack.kernel, CheckpointImage(pid=1, name="x",
+                                                   space_pages=8))
+
+
+def test_lazy_restore_cheaper_upfront_than_eager(stack):
+    """The point of lazy-pages: restore-to-runnable time excludes the
+    image copy."""
+    from repro.trackers.criu import restore
+
+    proc, image = checkpointed_app(stack, n_pages=512)
+    t0 = stack.clock.now_us
+    lazy = lazy_restore(stack.kernel, image)
+    lazy_up = stack.clock.now_us - t0
+    t0 = stack.clock.now_us
+    restore(stack.kernel, image)
+    eager_up = stack.clock.now_us - t0
+    assert lazy_up < eager_up / 5

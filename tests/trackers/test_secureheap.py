@@ -1,0 +1,180 @@
+"""Tests for OoH-SPP and the guarded secure heap (paper §III-D)."""
+
+import pytest
+
+from repro.core.oohspp import OohSpp
+from repro.errors import GcError, TrackingError
+from repro.hw.spp import SUBPAGE_BYTES, SUBPAGES_PER_PAGE
+from repro.trackers.secureheap import GuardMode, OverflowDetected, SecureHeap
+
+
+@pytest.fixture()
+def spp(stack):
+    module = OohSpp(stack.kernel)
+    module.init()
+    return module
+
+
+def make_heap(stack, spp, mode):
+    proc = stack.kernel.spawn("app", n_pages=4096)
+    return SecureHeap(stack.kernel, proc, spp, mode, heap_pages=2048)
+
+
+# ---------------------------------------------------------------------
+# OoH-SPP module
+# ---------------------------------------------------------------------
+def test_spp_init_once(stack, spp):
+    with pytest.raises(TrackingError):
+        spp.init()
+
+
+def test_spp_protect_requires_init(stack):
+    module = OohSpp(stack.kernel)
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    with pytest.raises(TrackingError):
+        module.protect_page(proc, 0, 0)
+
+
+def test_guard_subpages_blocks_exactly_those(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    spp.guard_subpages(proc, 0, [5, 7])
+    assert stack.kernel.access_subpage(proc, 0, 4, True)
+    assert not stack.kernel.access_subpage(proc, 0, 5, True)
+    assert stack.kernel.access_subpage(proc, 0, 6, True)
+    assert not stack.kernel.access_subpage(proc, 0, 7, True)
+
+
+def test_violation_delivered_to_guest_handler(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    seen = []
+    spp.add_violation_handler(lambda pid, vpn, sub: seen.append((pid, vpn, sub)))
+    spp.guard_subpages(proc, 2, [9])
+    stack.kernel.access_subpage(proc, 2, 9, True)
+    assert seen == [(proc.pid, 2, 9)]
+    assert spp.n_violations_delivered == 1
+
+
+def test_violation_costs_a_vmexit(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    spp.guard_subpages(proc, 0, [0])
+    exits = stack.vm.vcpu.n_vmexits
+    stack.kernel.access_subpage(proc, 0, 0, True)
+    assert stack.vm.vcpu.n_vmexits == exits + 1
+
+
+def test_reads_never_violate(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    spp.guard_subpages(proc, 0, list(range(32)))
+    assert stack.kernel.access_subpage(proc, 0, 3, write=False)
+
+
+# ---------------------------------------------------------------------
+# secure heap
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("mode", [GuardMode.PAGE, GuardMode.SUBPAGE])
+def test_in_bounds_writes_succeed(stack, spp, mode):
+    heap = make_heap(stack, spp, mode)
+    a = heap.alloc(300)
+    heap.write(a, 0, 300)  # full object write
+    assert heap.overflows_detected == 0
+
+
+def test_overflow_detected_synchronously_subpage(stack, spp):
+    heap = make_heap(stack, spp, GuardMode.SUBPAGE)
+    a = heap.alloc(300)  # 3 sub-pages usable (384 bytes)
+    with pytest.raises(OverflowDetected):
+        heap.write(a, 0, a.usable_subpages * SUBPAGE_BYTES + 1)
+    assert heap.overflows_detected == 1
+
+
+def test_page_guards_miss_intra_page_overruns_but_catch_page_crossers(
+    stack, spp
+):
+    """The weakness that motivates SPP: a guard *page* only fires when
+    the overrun crosses the page boundary; SPP's sub-page guard fires on
+    the very first out-of-bounds sub-page."""
+    heap = make_heap(stack, spp, GuardMode.PAGE)
+    a = heap.alloc(300)
+    # Intra-page overrun: undetected by page-granular guards.
+    heap.write(a, 0, 2000)
+    assert heap.overflows_detected == 0
+    # Crossing into the guard page: detected.
+    with pytest.raises(OverflowDetected):
+        heap.write(a, 0, 4096 + 1)
+    assert heap.overflows_detected == 1
+
+
+def test_subpage_guard_detects_small_overrun(stack, spp):
+    """A one-byte overrun past the rounded-up object hits the guard
+    sub-page immediately — the 'synchronous detection' property."""
+    heap = make_heap(stack, spp, GuardMode.SUBPAGE)
+    a = heap.alloc(SUBPAGE_BYTES)  # exactly one sub-page
+    heap.write(a, 0, SUBPAGE_BYTES)
+    with pytest.raises(OverflowDetected) as exc:
+        heap.write(a, SUBPAGE_BYTES, 1)
+    assert exc.value.alloc_id == a.alloc_id
+
+
+def test_neighbours_unaffected_by_guards(stack, spp):
+    heap = make_heap(stack, spp, GuardMode.SUBPAGE)
+    a = heap.alloc(SUBPAGE_BYTES)
+    b = heap.alloc(SUBPAGE_BYTES)
+    assert b.vpn == a.vpn  # packed into the same page
+    heap.write(b, 0, SUBPAGE_BYTES)
+    heap.write(a, 0, SUBPAGE_BYTES)
+
+
+def test_waste_reduction_factor_about_32(stack, spp):
+    """§III-D: SPP cuts guard waste by ~ the 32 sub-pages per page."""
+    page_heap = make_heap(stack, spp, GuardMode.PAGE)
+    sub_heap = make_heap(stack, spp, GuardMode.SUBPAGE)
+    for _ in range(64):
+        page_heap.alloc(SUBPAGE_BYTES)
+        sub_heap.alloc(SUBPAGE_BYTES)
+    # Pure guard bytes: 4096 vs 128 per allocation = exactly 32x.
+    assert page_heap.guard_waste_bytes / sub_heap.guard_waste_bytes >= 32
+
+
+def test_alloc_validation(stack, spp):
+    heap = make_heap(stack, spp, GuardMode.SUBPAGE)
+    with pytest.raises(GcError):
+        heap.alloc(0)
+    with pytest.raises(GcError):
+        heap.alloc(5000)
+
+
+def test_heap_exhaustion(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=64)
+    heap = SecureHeap(stack.kernel, proc, spp, GuardMode.PAGE, heap_pages=4)
+    heap.alloc(100)  # 2 pages (object + guard)
+    heap.alloc(100)  # 2 more
+    with pytest.raises(GcError):
+        heap.alloc(100)
+
+
+def test_unprotect_page_restores_writes(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    spp.guard_subpages(proc, 1, [4])
+    assert not stack.kernel.access_subpage(proc, 1, 4, True)
+    spp.unprotect_page(proc, 1)
+    assert stack.kernel.access_subpage(proc, 1, 4, True)
+
+
+def test_spp_close_unregisters_handler(stack, spp):
+    proc = stack.kernel.spawn("p", n_pages=8)
+    proc.space.add_vma(8)
+    seen = []
+    spp.add_violation_handler(lambda *a: seen.append(a))
+    spp.close()
+    with pytest.raises(TrackingError):
+        spp.protect_page(proc, 0, 0)
+    # Re-init works after close.
+    spp2 = OohSpp(stack.kernel)
+    spp2.init()
+    spp2.close()

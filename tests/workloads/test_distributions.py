@@ -1,0 +1,112 @@
+"""Behavioural tests for the workload access distributions.
+
+Each tkrzw engine and Phoenix app models a distinct page-write pattern
+(DESIGN.md substitution table); these tests pin the properties the
+tracking results depend on, so refactoring the generators cannot silently
+change the evaluation's shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import make_workload
+from repro.workloads.tkrzw.baby import Baby
+from repro.workloads.tkrzw.cache import Cache
+from repro.workloads.tkrzw.stdtree import StdTree
+from repro.workloads.tkrzw.tiny import Tiny
+
+N_PAGES = 50_000
+N_OPS = 100_000
+
+
+def targets(engine, op_index=0):
+    rng = np.random.default_rng(1)
+    return engine.target_pages(rng, op_index, N_OPS, N_PAGES)
+
+
+def test_baby_has_recency_locality():
+    """B-tree inserts concentrate on a recently-grown window."""
+    baby = Baby(params={"n_iter": N_OPS})
+    pages = targets(baby)
+    window = int(N_PAGES * baby.window_frac)
+    in_window = np.sum(pages < window)
+    # ~70% of ops land in the 5% window at op_index 0.
+    assert in_window / len(pages) > 0.5
+    # The window slides with progress.
+    later = targets(baby, op_index=5 * N_OPS)
+    assert np.median(later[later < np.percentile(later, 80)]) != pytest.approx(
+        np.median(pages[pages < np.percentile(pages, 80)])
+    )
+
+
+def test_cache_is_uniform():
+    pages = targets(Cache(params={"n_iter": N_OPS}))
+    hist, _ = np.histogram(pages, bins=10, range=(0, N_PAGES))
+    assert hist.max() < hist.min() * 1.2  # near-uniform
+
+
+def test_stdtree_adds_rotation_clusters():
+    tree = StdTree(params={"n_iter": N_OPS})
+    pages = targets(tree)
+    # A quarter of ops add a rotation write near the primary target.
+    assert len(pages) == N_OPS + N_OPS // 4
+    assert pages.min() >= 0 and pages.max() < N_PAGES
+
+
+def test_tiny_stripes_by_thread():
+    tiny = Tiny(params={"n_iter": N_OPS, "threads": 4})
+    pages = targets(tiny)
+    stripe = N_PAGES // 4
+    stripes = pages // stripe
+    counts = np.bincount(np.minimum(stripes, 3), minlength=4)
+    # Every thread stripe gets a similar share.
+    assert counts.min() > N_OPS // 8
+
+
+def test_engine_footprint_dirty_coverage():
+    """A full small-config run dirties a large fraction of the arena for
+    the uniform engines — the property CRIU dump sizes rest on."""
+    from types import SimpleNamespace
+
+    from repro.core.clock import SimClock
+    from repro.core.costs import CostModel
+    from repro.core.tracking import Technique, make_tracker
+    from repro.guest.kernel import GuestKernel
+    from repro.hypervisor.hypervisor import Hypervisor
+    from repro.workloads import FlatContext
+
+    w = make_workload("stdhash", "small", scale=0.05)
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=1024)
+    vm = hv.create_vm("vm", mem_mb=600)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn("kv", n_pages=w.footprint_pages + 64)
+    tracker = make_tracker(Technique.ORACLE, kernel, proc)
+    with tracker:
+        w.run(FlatContext(kernel, proc))
+        dirty = tracker.collect()
+    assert dirty.size > w.footprint_pages * 0.5
+
+
+@pytest.mark.parametrize("app", ["histogram", "string-match"])
+def test_streaming_apps_read_everything_write_little(app):
+    """Streaming Phoenix apps: RSS ~ footprint, dirty set tiny."""
+    from repro.core.clock import SimClock
+    from repro.core.costs import CostModel
+    from repro.core.tracking import Technique, make_tracker
+    from repro.guest.kernel import GuestKernel
+    from repro.hypervisor.hypervisor import Hypervisor
+    from repro.workloads import FlatContext
+
+    w = make_workload(app, "small")
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=512)
+    vm = hv.create_vm("vm", mem_mb=300)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn(app, n_pages=w.footprint_pages + 64)
+    tracker = make_tracker(Technique.ORACLE, kernel, proc)
+    with tracker:
+        w.run(FlatContext(kernel, proc))
+        dirty = tracker.collect()
+    assert proc.space.rss_pages > w.footprint_pages * 0.8
+    assert dirty.size < w.footprint_pages * 0.05

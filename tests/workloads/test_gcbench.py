@@ -1,0 +1,95 @@
+"""Tests for the GCBench port."""
+
+import pytest
+from types import SimpleNamespace
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.trackers.boehm import BoehmGc, GcHeap, GcParams
+from repro.workloads import FlatContext, GcContext, make_workload
+from repro.workloads.gcbench import GcBench, build_trees_batch, num_iters, tree_size
+
+
+def gc_stack(vm_mb=256, heap_mb=128, technique=Technique.ORACLE,
+             threshold=64 * 1024):
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=2 * vm_mb)
+    vm = hv.create_vm("vm0", mem_mb=vm_mb)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn("gcbench", n_pages=heap_mb * 256 + 64)
+    heap = GcHeap(kernel, proc, heap_pages=heap_mb * 256)
+    gc = BoehmGc(kernel, heap, technique, GcParams(threshold_bytes=threshold))
+    ctx = GcContext(kernel, proc, heap, gc)
+    return SimpleNamespace(clock=clock, kernel=kernel, proc=proc, heap=heap,
+                           gc=gc, ctx=ctx)
+
+
+def test_tree_size_and_num_iters():
+    assert tree_size(2) == 7
+    assert num_iters(18, 4) == 2 * tree_size(18) // 31
+
+
+def test_build_trees_batch_shape():
+    s = gc_stack()
+    roots = build_trees_batch(s.heap, 3, 3)
+    assert roots.size == 3
+    assert s.heap.n_live == 3 * 15
+    assert s.heap.n_edges == 3 * 14
+    # Each root reaches exactly its own tree.
+    out = s.heap.out_neighbors(roots[:1])
+    assert out.size == 2
+
+
+def test_gcbench_requires_gc_context():
+    s = gc_stack()
+    w = GcBench(array_size=1000, long_lived_depth=4, stretch_depth=6)
+    with pytest.raises(WorkloadError):
+        w.run(FlatContext(s.kernel, s.proc))
+
+
+def test_gcbench_runs_and_collects():
+    s = gc_stack()
+    w = GcBench(array_size=10_000, long_lived_depth=8, stretch_depth=12,
+                mem_mb=4, scale=0.2)
+    with s.gc:
+        w.run(s.ctx)
+    assert len(s.gc.cycles) >= 2
+    # Temp trees got collected: live set is bounded by long-lived data.
+    long_lived_nodes = tree_size(8)
+    array_pages = 10_000 * 8 // 4096
+    # Allow the garbage allocated since the last cycle.
+    assert s.heap.n_live < long_lived_nodes + array_pages + 50_000
+    assert sum(c.n_freed for c in s.gc.cycles) > 0
+
+
+def test_gcbench_scaled_config_factory():
+    w = make_workload("gcbench", "small", scale=0.001)
+    assert w.stretch_depth == 18
+    assert w.array_size == 500_000
+
+
+def test_gcbench_cycle_count_in_paper_range():
+    """The paper observes 2..23 GC cycles depending on intensity."""
+    s = gc_stack(threshold=128 * 1024)
+    w = GcBench(array_size=20_000, long_lived_depth=8, stretch_depth=12,
+                mem_mb=8, scale=0.2)
+    with s.gc:
+        w.run(s.ctx)
+    assert 2 <= len(s.gc.cycles) <= 60
+
+
+@pytest.mark.parametrize("technique",
+                         [Technique.PROC, Technique.SPML, Technique.EPML])
+def test_gcbench_under_each_technique(technique):
+    s = gc_stack(technique=technique, threshold=32 * 1024)
+    w = GcBench(array_size=5_000, long_lived_depth=6, stretch_depth=10,
+                mem_mb=4, scale=0.2)
+    with s.gc:
+        w.run(s.ctx)
+    kinds = [c.kind for c in s.gc.cycles]
+    assert kinds[0] == "full"
+    assert "minor" in kinds

@@ -1,0 +1,93 @@
+"""Per-app behavioural tests for the Phoenix models."""
+
+import numpy as np
+import pytest
+from types import SimpleNamespace
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique, make_tracker
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.workloads import FlatContext, make_workload
+from repro.workloads.phoenix.common import PhoenixApp
+
+
+def run_with_oracle(app, config="small", scale=1.0, vm_mb=400):
+    w = make_workload(app, config, scale=scale)
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=vm_mb * 2)
+    vm = hv.create_vm("vm", mem_mb=vm_mb)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn(app, n_pages=w.footprint_pages + 64)
+    tracker = make_tracker(Technique.ORACLE, kernel, proc)
+    with tracker:
+        w.run(FlatContext(kernel, proc))
+        dirty = tracker.collect()
+    return SimpleNamespace(w=w, proc=proc, dirty=dirty, clock=clock)
+
+
+def test_histogram_dirty_set_is_the_histograms():
+    r = run_with_oracle("histogram")
+    # Input file pages are read-populated; only the few histogram pages
+    # (plus nothing else) are written.
+    hist_vma = r.proc.space.vmas[1]
+    assert hist_vma.name == "histograms"
+    assert set(int(v) for v in r.dirty) <= set(int(v) for v in hist_vma.vpns())
+
+
+def test_kmeans_means_rewritten_every_iteration():
+    r = run_with_oracle("kmeans", scale=0.05)
+    means_vma = r.proc.space.vmas[1]
+    assert means_vma.name == "means"
+    # Every means page dirtied at least once.
+    assert set(int(v) for v in means_vma.vpns()) <= set(int(v) for v in r.dirty)
+
+
+def test_matmul_writes_all_of_c():
+    r = run_with_oracle("matrix-multiply")
+    c_vma = r.proc.space.vmas[2]
+    assert c_vma.name == "C"
+    assert set(int(v) for v in c_vma.vpns()) <= set(int(v) for v in r.dirty)
+
+
+def test_pca_cov_strip_writes_cover_output():
+    r = run_with_oracle("pca")
+    cov_vma = r.proc.space.vmas[1]
+    assert cov_vma.name == "cov"
+    written_cov = set(int(v) for v in r.dirty) & set(
+        int(v) for v in cov_vma.vpns()
+    )
+    assert len(written_cov) > 0
+
+
+def test_wordcount_hash_scatter_covers_wide_region():
+    r = run_with_oracle("word-count")
+    table_vma = r.proc.space.vmas[1]
+    written = set(int(v) for v in r.dirty) & set(int(v) for v in table_vma.vpns())
+    assert len(written) > table_vma.n_pages * 0.2
+
+
+def test_phoenix_missing_param_rejected():
+    class Broken(PhoenixApp):
+        name = "broken"
+
+        def _run(self, ctx):
+            self._require("nonexistent_param")
+
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=32)
+    vm = hv.create_vm("vm", mem_mb=8)
+    kernel = GuestKernel(vm)
+    w = Broken(mem_mb=1)
+    proc = kernel.spawn("x", n_pages=w.footprint_pages + 8)
+    with pytest.raises(WorkloadError):
+        w.run(FlatContext(kernel, proc))
+
+
+def test_scaled_runs_are_cheaper_but_same_footprint():
+    full = run_with_oracle("kmeans", scale=0.2)
+    tiny = run_with_oracle("kmeans", scale=0.02)
+    assert tiny.clock.now_us < full.clock.now_us
+    assert tiny.w.footprint_pages == full.w.footprint_pages
