@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from conftest import QUICK
 
-from repro.core.ooh import OohKind, OohLib, OohModule
+from repro.core.ooh import OohLib, OohModule
 from repro.core.tracking import Technique, make_tracker
 from repro.experiments.harness import build_stack
 

@@ -1,0 +1,159 @@
+"""Simulator performance: fused MMU walk, reverse-map index, runner engine.
+
+Unlike the other benches (which regenerate paper artifacts), this file
+measures the *simulator's own* wall-clock — the three-layer performance
+pass that keeps the full non-quick sweep tractable:
+
+* ``Mmu.access`` batch throughput, fused walk + TLB fast path vs the
+  multipass reference (target: >= 2x on a 1M-access workload);
+* ``PageTable.reverse_lookup`` with the cached GPFN->VPN index vs a
+  cold index per lookup;
+* ``runner all --quick`` end to end, optimized (fused + memo-cache +
+  ``--jobs 4``) vs the pre-optimization configuration
+  (``REPRO_FUSED_MMU=0 REPRO_EXPERIMENT_CACHE=0``, serial).
+
+Simulated costs and results are bit-identical across all configurations
+(see tests/integration/test_differential_mmu.py); only host wall-clock
+changes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+from conftest import QUICK
+
+from repro.hw import vmcs
+from repro.hw.ept import Ept
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import Mmu
+from repro.hw.pagetable import PTE_SOFT_DIRTY, PTE_UFD_WP, PTE_WRITABLE, PageTable
+from repro.hw.pml import PmlCircuit
+from repro.hw.tlb import Tlb
+
+N_PAGES = 16384 if QUICK else 65536
+BATCH = 16384
+TARGET_ACCESSES = 200_000 if QUICK else 1_000_000
+
+
+class _Handlers:
+    """Minimal guest-kernel fault plumbing (identity-ish mappings)."""
+
+    def __init__(self, pt: PageTable, ept: Ept, host: PhysicalMemory) -> None:
+        self.pt = pt
+        self.ept = ept
+        self.host = host
+        self._next_gpfn = 0
+
+    def handle_minor_fault(self, vpns, write_mask=None) -> None:
+        gpfns = np.arange(self._next_gpfn, self._next_gpfn + len(vpns))
+        self._next_gpfn += len(vpns)
+        self.ept.map(gpfns, self.host.alloc(len(vpns)))
+        self.pt.map(vpns, gpfns)
+
+    def handle_ufd_miss_fault(self, vpns, write_mask=None):
+        return np.empty(0, dtype=np.int64)
+
+    def handle_wp_fault(self, vpns, ufd_mask) -> None:
+        self.pt.set_flags(vpns, PTE_WRITABLE | PTE_SOFT_DIRTY)
+        self.pt.clear_flags(vpns, PTE_UFD_WP)
+
+
+def _drive(fused: bool) -> float:
+    """Seconds to push TARGET_ACCESSES through Mmu.access, microbench-style
+    (sorted 16K-page write batches over a pre-faulted working set)."""
+    host = PhysicalMemory(N_PAGES + 64)
+    ept = Ept(N_PAGES + 64)
+    pml = PmlCircuit(vmcs.Vmcs(), capacity=512)
+    mmu = Mmu(ept, host, pml, fused=fused)
+    pt = PageTable(N_PAGES)
+    tlb = Tlb(N_PAGES)
+    h = _Handlers(pt, ept, host)
+    batches = [
+        np.arange(lo, min(lo + BATCH, N_PAGES), dtype=np.int64)
+        for lo in range(0, N_PAGES, BATCH)
+    ]
+    for b in batches:  # pre-fault (mlockall), outside the measurement
+        mmu.access(pt, tlb, b, True, h)
+    done = 0
+    t0 = time.perf_counter()
+    while done < TARGET_ACCESSES:
+        for b in batches:
+            mmu.access(pt, tlb, b, True, h)
+            done += b.size
+    return time.perf_counter() - t0
+
+
+def test_mmu_access_throughput(benchmark):
+    fused_s = benchmark.pedantic(_drive, args=(True,), rounds=1, iterations=1)
+    multi_s = _drive(False)
+    speedup = multi_s / fused_s
+    fused_mps = TARGET_ACCESSES / fused_s / 1e6
+    benchmark.extra_info.update(
+        fused_s=fused_s, multipass_s=multi_s, speedup=speedup,
+        fused_maccesses_per_s=fused_mps,
+    )
+    print(f"\nMmu.access {TARGET_ACCESSES} accesses: "
+          f"fused {fused_s:.3f}s ({fused_mps:.1f} M/s), "
+          f"multipass {multi_s:.3f}s, speedup {speedup:.2f}x")
+    assert speedup >= 2.0
+
+
+def test_reverse_lookup_index_reuse(benchmark):
+    n = N_PAGES
+    pt = PageTable(n)
+    pt.map(np.arange(n, dtype=np.int64),
+           np.random.default_rng(7).permutation(n).astype(np.int64))
+    queries = [np.random.default_rng(i).integers(0, n, 256) for i in range(64)]
+
+    def warm() -> float:
+        t0 = time.perf_counter()
+        for q in queries:
+            pt.reverse_lookup(q)
+        return time.perf_counter() - t0
+
+    warm_s = benchmark.pedantic(warm, rounds=1, iterations=1)
+
+    cold_s = 0.0
+    for q in queries:
+        pt._rev_index = None  # simulate the pre-index per-call rebuild
+        t0 = time.perf_counter()
+        pt.reverse_lookup(q)
+        cold_s += time.perf_counter() - t0
+    speedup = cold_s / warm_s
+    benchmark.extra_info.update(warm_s=warm_s, cold_s=cold_s, speedup=speedup)
+    print(f"\nreverse_lookup x{len(queries)}: warm index {warm_s * 1e3:.2f}ms, "
+          f"cold index {cold_s * 1e3:.2f}ms, speedup {speedup:.1f}x")
+    assert speedup > 1.0
+
+
+def _runner_wallclock(extra_args: list[str], env_overrides: dict) -> float:
+    env = dict(os.environ, **env_overrides)
+    env.setdefault("PYTHONPATH", "src")
+    t0 = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", "all", "--quick",
+         *extra_args],
+        check=True, capture_output=True, env=env,
+    )
+    return time.perf_counter() - t0
+
+
+def test_runner_all_quick_wallclock(benchmark):
+    """End-to-end: optimized `runner all --quick --jobs 4` vs the
+    pre-optimization configuration (multipass walk, no memo-cache)."""
+    opt_s = benchmark.pedantic(
+        _runner_wallclock, args=(["--jobs", "4"], {}), rounds=1, iterations=1
+    )
+    base_s = _runner_wallclock(
+        [], {"REPRO_FUSED_MMU": "0", "REPRO_EXPERIMENT_CACHE": "0"}
+    )
+    speedup = base_s / opt_s
+    benchmark.extra_info.update(opt_s=opt_s, baseline_s=base_s, speedup=speedup)
+    print(f"\nrunner all --quick: optimized --jobs 4 {opt_s:.2f}s, "
+          f"baseline {base_s:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= 2.0

@@ -302,6 +302,9 @@ class OohModule:
         mapped = process.space.pt.mapped_vpns()
         if mapped.size:
             process.space.pt.clear_flags(mapped, PTE_DIRTY)
+            # Downgraded translations must leave the TLB or cached dirty
+            # entries would let writes skip the 0 -> 1 logging circuit.
+            process.space.tlb.invalidate(mapped)
         self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
         return att
 
@@ -351,8 +354,11 @@ class OohModule:
         )
         vpns = np.unique(gvas).astype(np.int64)
         # Re-arm: the module owns guest PTE dirty bits — no hypervisor.
+        # Invalidate alongside (invlpg semantics): a TLB-cached dirty
+        # translation would let the next write dodge the re-armed log.
         if vpns.size:
             att.process.space.pt.clear_flags(vpns, PTE_DIRTY)
+            att.process.space.tlb.invalidate(vpns)
             self.clock.charge(
                 self.costs.params.pte_dirty_clear_us * vpns.size,
                 World.TRACKER,

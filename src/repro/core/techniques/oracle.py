@@ -39,6 +39,7 @@ class OracleTracker(DirtyPageTracker):
         mapped = self.process.space.pt.mapped_vpns()
         if mapped.size:
             self.process.space.pt.clear_flags(mapped, PTE_DIRTY)
+            self.process.space.tlb.invalidate(mapped)
         self.kernel.add_access_listener(self._listener)
 
     def _do_collect(self) -> np.ndarray:
@@ -47,6 +48,7 @@ class OracleTracker(DirtyPageTracker):
         # Re-arm PTE dirty transitions (free: the oracle is costless).
         if out.size:
             self.process.space.pt.clear_flags(out, PTE_DIRTY)
+            self.process.space.tlb.invalidate(out)
         return out
 
     def _do_stop(self) -> None:

@@ -23,9 +23,10 @@ from types import SimpleNamespace
 
 import numpy as np
 
-from repro.core.clock import SimClock, World
+from repro.core.clock import SimClock
 from repro.core.costs import CostModel, CostParams
 from repro.core.tracking import Technique, make_tracker
+from repro.experiments.cache import EXPERIMENT_CACHE
 from repro.guest.kernel import GuestKernel
 from repro.guest.scheduler import DEFAULT_SWITCH_INTERVAL_US
 from repro.hypervisor.hypervisor import Hypervisor
@@ -141,7 +142,22 @@ def run_microbench(
     technique = Technique(technique) if isinstance(technique, str) else technique
     if passes < 1:
         raise ValueError("passes must be >= 1")
+    key = ("microbench", technique.value, mem_mb, passes, cost_params,
+           pml_buffer_entries, switch_interval_us)
+    return EXPERIMENT_CACHE.get_or_run(key, lambda: _run_microbench_uncached(
+        technique, mem_mb, passes, cost_params, pml_buffer_entries,
+        switch_interval_us,
+    ))
 
+
+def _run_microbench_uncached(
+    technique: Technique,
+    mem_mb: float,
+    passes: int,
+    cost_params: CostParams | None,
+    pml_buffer_entries: int,
+    switch_interval_us: float,
+) -> MicrobenchResult:
     # Ideal run: no tracker.
     stack, proc, vpns, us_pp = _microbench_setup(
         mem_mb, cost_params, pml_buffer_entries, switch_interval_us
@@ -222,10 +238,6 @@ class CriuRunResult:
         return sum(d.phases.total_us for d in self.dumps)
 
 
-#: Untracked (app, config, scale) baselines: (n_opportunities, ideal_us).
-_CRIU_IDEAL_CACHE: dict[tuple, tuple[int, float]] = {}
-
-
 class _OpportunityDriver:
     """Triggers CRIU actions at chosen checkpoint opportunities."""
 
@@ -268,14 +280,31 @@ def run_criu(
     technique.
     """
     technique = Technique(technique) if isinstance(technique, str) else technique
+    key = ("criu", app, config, technique.value, scale, dump_at_fraction,
+           track_from_fraction)
+    return EXPERIMENT_CACHE.get_or_run(key, lambda: _run_criu_uncached(
+        app, config, technique, scale, dump_at_fraction, track_from_fraction,
+    ))
+
+
+def _run_criu_uncached(
+    app: str,
+    config: str,
+    technique: Technique,
+    scale: float,
+    dump_at_fraction: float,
+    track_from_fraction: float,
+) -> CriuRunResult:
     workload = make_workload(app, config, scale=scale)
     vm_mb = workload.footprint_pages / 256 * 1.3 + 64
-    key = (app, config, scale)
-    if key not in _CRIU_IDEAL_CACHE:
-        _CRIU_IDEAL_CACHE[key] = _count_opportunities(
+    # Untracked baseline: (n_opportunities, ideal_us), shared across the
+    # technique sweep for one (app, config, scale).
+    n_opps, ideal_us = EXPERIMENT_CACHE.get_or_run(
+        ("criu_ideal", app, config, scale),
+        lambda: _count_opportunities(
             make_workload(app, config, scale=scale), vm_mb
-        )
-    n_opps, ideal_us = _CRIU_IDEAL_CACHE[key]
+        ),
+    )
 
     stack = build_stack(vm_mb=vm_mb)
     proc = stack.kernel.spawn(workload.name, n_pages=workload.footprint_pages + 64)
@@ -369,11 +398,6 @@ def _boehm_once(
     return stack, result
 
 
-#: Oracle baselines are deterministic per configuration: cache them so a
-#: technique sweep pays for each baseline once.
-_ORACLE_CACHE: dict[tuple, float] = {}
-
-
 def run_boehm(
     app: str,
     config: str = "small",
@@ -389,13 +413,28 @@ def run_boehm(
     """
     technique = Technique(technique) if isinstance(technique, str) else technique
     params = gc_params if gc_params is not None else GcParams()
-    key = (app, config, scale, params)
-    if key not in _ORACLE_CACHE or technique is Technique.ORACLE:
-        _, oracle = _boehm_once(app, config, Technique.ORACLE, scale, params)
-        _ORACLE_CACHE[key] = oracle.tracked_us
-        if technique is Technique.ORACLE:
-            oracle.ideal_us = oracle.tracked_us
-            return oracle
+    key = ("boehm", app, config, technique.value, scale, params)
+    return EXPERIMENT_CACHE.get_or_run(key, lambda: _run_boehm_uncached(
+        app, config, technique, scale, params,
+    ))
+
+
+def _run_boehm_uncached(
+    app: str,
+    config: str,
+    technique: Technique,
+    scale: float,
+    params: GcParams,
+) -> BoehmRunResult:
+    # Oracle baselines are deterministic per configuration: cache the
+    # whole run so a technique sweep pays for each baseline once.
+    oracle = EXPERIMENT_CACHE.get_or_run(
+        ("boehm_oracle", app, config, scale, params),
+        lambda: _boehm_once(app, config, Technique.ORACLE, scale, params)[1],
+    )
+    if technique is Technique.ORACLE:
+        oracle.ideal_us = oracle.tracked_us
+        return oracle
     _, result = _boehm_once(app, config, technique, scale, params)
-    result.ideal_us = _ORACLE_CACHE[key]
+    result.ideal_us = oracle.tracked_us
     return result

@@ -80,6 +80,7 @@ class GuestKernel:
 
     def exit_process(self, process: Process) -> None:
         process.state = ProcessState.DEAD
+        process.space.tlb.flush()
         freed = process.space.pt.unmap(process.space.mapped_vpns())
         if freed.size:
             self.vm.guest_frames.free(freed)

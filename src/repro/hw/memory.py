@@ -22,35 +22,42 @@ __all__ = ["FrameAllocator", "PhysicalMemory"]
 
 
 class FrameAllocator:
-    """Allocates frame numbers from a fixed pool, LIFO free list."""
+    """Allocates frame numbers from a fixed pool, LIFO free list.
+
+    The free list is a pre-sized numpy array used as a stack (``_top``
+    entries are valid), not a Python list: a 5 GB VM has ~1.4M frames and
+    experiment harnesses build fresh stacks constantly, so list-of-int
+    construction used to dominate stack-build wall-clock.  Allocation
+    order is bit-identical to the original list implementation.
+    """
 
     def __init__(self, n_frames: int) -> None:
         if n_frames <= 0:
             raise ConfigurationError(f"n_frames must be > 0: {n_frames}")
         self.n_frames = n_frames
         # Free frames stored as a stack; allocate from the end.
-        self._free = list(range(n_frames - 1, -1, -1))
+        self._free = np.arange(n_frames - 1, -1, -1, dtype=np.int64)
+        self._top = n_frames  # number of valid entries in _free
         self._allocated = np.zeros(n_frames, dtype=bool)
 
     @property
     def n_free(self) -> int:
-        return len(self._free)
+        return self._top
 
     @property
     def n_allocated(self) -> int:
-        return self.n_frames - len(self._free)
+        return self.n_frames - self._top
 
     def alloc(self, count: int) -> np.ndarray:
         """Allocate ``count`` frames; raises :class:`OutOfFramesError`."""
         if count < 0:
             raise ValueError(f"count must be >= 0: {count}")
-        if count > len(self._free):
+        if count > self._top:
             raise OutOfFramesError(
-                f"requested {count} frames, only {len(self._free)} free"
+                f"requested {count} frames, only {self._top} free"
             )
-        taken = self._free[len(self._free) - count:]
-        del self._free[len(self._free) - count:]
-        frames = np.asarray(taken, dtype=np.int64)
+        frames = self._free[self._top - count:self._top].copy()
+        self._top -= count
         self._allocated[frames] = True
         return frames
 
@@ -63,7 +70,8 @@ class FrameAllocator:
         if not np.all(self._allocated[arr]):
             raise InvalidAddressError("double free of physical frame")
         self._allocated[arr] = False
-        self._free.extend(int(f) for f in arr)
+        self._free[self._top:self._top + arr.size] = arr
+        self._top += arr.size
 
     def is_allocated(self, frame: int) -> bool:
         return bool(self._allocated[frame])

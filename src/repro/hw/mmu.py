@@ -12,17 +12,31 @@ the MMU resolves each batch in vectorised passes:
 Fault *semantics and costs* belong to the guest kernel (the handlers
 object); the MMU only detects, routes, and counts.  This mirrors hardware:
 the MMU raises #PF / EPT violations, software decides what they mean.
+
+Two walk implementations produce bit-identical outcomes:
+
+* the **fused** walk (default) gathers ``pt.flags`` once and derives the
+  present/writable/dirty masks from that single read, with one dedup pass
+  feeding PTE bits, EPT bits, and content writes.  It is fronted by a
+  **TLB fast path**: a sorted-unique batch whose pages are all TLB-cached,
+  present, writable, and already PTE+EPT dirty cannot fault and cannot
+  produce a 0->1 dirty transition (so nothing can be logged), exactly as
+  a real TLB hit on a dirty writable translation skips the walk circuit;
+* the **multipass** walk is the original five-pass reference, kept behind
+  ``fused=False`` (or ``REPRO_FUSED_MMU=0``) so differential tests can
+  pit the two against each other.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 
-from repro.errors import ProtectionFault
-from repro.hw.ept import Ept
+from repro.errors import InvalidAddressError, ProtectionFault
+from repro.hw.ept import EPT_ACCESSED, EPT_DIRTY, Ept
 from repro.hw.memory import PhysicalMemory
 from repro.hw.pagetable import (
     PTE_ACCESSED,
@@ -36,6 +50,11 @@ from repro.hw.pml import PmlCircuit
 from repro.hw.tlb import Tlb
 
 __all__ = ["FaultHandlers", "MmuResult", "Mmu"]
+
+
+def _fused_default() -> bool:
+    """Process-wide default for the fused walk (REPRO_FUSED_MMU=0 opts out)."""
+    return os.environ.get("REPRO_FUSED_MMU", "1") not in ("0", "false", "no")
 
 
 class FaultHandlers(Protocol):
@@ -81,10 +100,22 @@ class MmuResult:
 class Mmu:
     """One MMU per VM; operates on any of its processes' page tables."""
 
-    def __init__(self, ept: Ept, host_mem: PhysicalMemory, pml: PmlCircuit) -> None:
+    def __init__(
+        self,
+        ept: Ept,
+        host_mem: PhysicalMemory,
+        pml: PmlCircuit,
+        fused: bool | None = None,
+    ) -> None:
         self.ept = ept
         self.host_mem = host_mem
         self.pml = pml
+        #: True selects the fused walk + TLB fast path; False the original
+        #: multipass walk (differential-test reference).
+        self.fused = _fused_default() if fused is None else fused
+        #: Diagnostics: batches/accesses resolved by the TLB fast path.
+        self.n_fast_batches = 0
+        self.n_fast_accesses = 0
 
     def access(
         self,
@@ -109,7 +140,134 @@ class Mmu:
         res = MmuResult(n_accesses=int(v.size), n_writes=int(w.sum()))
         if v.size == 0:
             return res
+        if not self.fused:
+            return self._access_multipass(pt, tlb, v, w, handlers, res)
+        if self._try_fast_path(pt, tlb, v, w):
+            self.n_fast_batches += 1
+            self.n_fast_accesses += res.n_accesses
+            return res
+        return self._access_fused(pt, tlb, v, w, handlers, res)
 
+    # ------------------------------------------------------------------
+    # TLB fast path
+    # ------------------------------------------------------------------
+    def _try_fast_path(self, pt: PageTable, tlb: Tlb, v, w) -> bool:
+        """Resolve the batch without a walk when nothing can change.
+
+        Applicable to sorted-unique batches (no dedup pass needed) whose
+        pages are all TLB-cached with PTE present+accessed (+writable and
+        PTE/EPT dirty for written pages): no fault can fire and no dirty
+        bit can transition 0->1, so no PML entry can be logged.  The only
+        remaining architectural effects are the content-token writes and
+        the TLB refresh, both performed here bit-identically to the walk.
+        """
+        if v.size > 1 and not (v[1:] > v[:-1]).all():
+            return False  # not sorted-unique: take the full walk
+        if v[0] < 0 or v[-1] >= pt.n_pages:
+            return False  # out of range: let the walk raise
+        if not tlb.cached_all(v):
+            return False
+        f = pt.flags[v]
+        need_r = PTE_PRESENT | PTE_ACCESSED
+        if not ((f & need_r) == need_r).all():
+            return False
+        fw = f[w]
+        need_w = PTE_WRITABLE | PTE_DIRTY
+        if fw.size and not ((fw & need_w) == need_w).all():
+            return False
+        g = pt.gpfn[v]
+        if (g < 0).any() or int(g.max()) >= self.ept.n_guest_frames:
+            return False
+        ef = self.ept.flags[g]
+        if not ((ef & EPT_ACCESSED) != 0).all():
+            return False
+        efw = ef[w]
+        if efw.size and not ((efw & EPT_DIRTY) != 0).all():
+            return False
+        h = self.ept.hpfn[g[w]]
+        if h.size and (h < 0).any():
+            return False
+        self.host_mem.write(h)
+        tlb.fill(v)
+        return True
+
+    # ------------------------------------------------------------------
+    # fused walk (default)
+    # ------------------------------------------------------------------
+    def _access_fused(
+        self, pt: PageTable, tlb: Tlb, v, w, handlers: FaultHandlers, res: MmuResult
+    ) -> MmuResult:
+        if int(v.min()) < 0 or int(v.max()) >= pt.n_pages:
+            raise InvalidAddressError("VPN out of address space")
+        flags = pt.flags[v]
+
+        # -- 1. missing pages -------------------------------------------
+        present = (flags & PTE_PRESENT) != 0
+        if not present.all():
+            missing, inv_m = np.unique(v[~present], return_inverse=True)
+            missing_w = np.zeros(missing.shape, dtype=bool)
+            missing_w[inv_m[w[~present]]] = True
+            handled_by_ufd = handlers.handle_ufd_miss_fault(missing, missing_w)
+            res.n_ufd_faults += int(len(handled_by_ufd))
+            still = ~np.isin(missing, handled_by_ufd)
+            if still.any():
+                handlers.handle_minor_fault(missing[still], missing_w[still])
+                res.n_minor_faults += int(still.sum())
+            flags = pt.flags[v]
+            if not ((flags & PTE_PRESENT) != 0).all():
+                raise ProtectionFault("fault handler left pages unmapped")
+
+        # -- 2. write-protection faults ----------------------------------
+        any_w = bool(w.any())
+        if any_w:
+            writable = (flags[w] & PTE_WRITABLE) != 0
+            if not writable.all():
+                faulting = np.unique(v[w][~writable])
+                ufd_mask = (pt.flags[faulting] & PTE_UFD_WP) != 0
+                res.n_ufd_faults += int(ufd_mask.sum())
+                res.n_wp_faults += int((~ufd_mask).sum())
+                handlers.handle_wp_fault(faulting, ufd_mask)
+                flags = pt.flags[v]
+                if not ((flags[w] & PTE_WRITABLE) != 0).all():
+                    raise ProtectionFault("WP fault handler left pages read-only")
+
+        # -- 3+4. one dedup pass feeds PTE bits, EPT bits, content writes
+        uniq_v, first_idx, inv = np.unique(
+            v, return_index=True, return_inverse=True
+        )
+        uniq_w = np.zeros(uniq_v.shape, dtype=bool)
+        uniq_w[inv[w]] = True
+        fu = flags[first_idx]
+        newf = fu | PTE_ACCESSED
+        if any_w:
+            was_clean = uniq_w & ((fu & PTE_DIRTY) == 0)
+            res.newly_pte_dirty = uniq_v[was_clean]
+            newf = np.where(uniq_w, newf | PTE_DIRTY, newf)
+            pt.flags[uniq_v] = newf
+            # EPML guest-level logging: GVAs whose PTE dirty bit was set.
+            self.pml.log_gvas(res.newly_pte_dirty)
+        else:
+            pt.flags[uniq_v] = newf
+        gpfns = pt.gpfn[uniq_v]
+        if (gpfns < 0).any():
+            raise InvalidAddressError("translate of unmapped VPN")
+        res.newly_ept_dirty = self.ept.touch(gpfns, uniq_w)
+        # Hypervisor-level PML logging: GPAs whose EPT dirty bit was set.
+        self.pml.log_gpas(res.newly_ept_dirty)
+
+        # -- 5. content mutation + TLB -----------------------------------
+        if uniq_w.any():
+            hpfns = self.ept.translate(gpfns[uniq_w])
+            self.host_mem.write(hpfns)
+        tlb.fill(uniq_v)
+        return res
+
+    # ------------------------------------------------------------------
+    # original multipass walk (reference; fused=False)
+    # ------------------------------------------------------------------
+    def _access_multipass(
+        self, pt: PageTable, tlb: Tlb, v, w, handlers: FaultHandlers, res: MmuResult
+    ) -> MmuResult:
         # -- 1. missing pages -------------------------------------------
         present = pt.present_mask(v)
         if not present.all():

@@ -53,6 +53,12 @@ class PageTable:
         self.n_pages = n_pages
         self.gpfn = np.full(n_pages, -1, dtype=np.int64)
         self.flags = np.zeros(n_pages, dtype=np.uint16)
+        # Lazily built GPFN->VPN index for reverse_lookup; invalidated by
+        # any operation that changes which VPNs are mapped (map/unmap, or
+        # flag updates touching PRESENT).  Host-side speedup only: the
+        # *simulated* reverse-mapping cost (M17) is charged by the caller
+        # and is unaffected.
+        self._rev_index: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def _check_vpns(self, vpns: np.ndarray) -> np.ndarray:
@@ -84,6 +90,7 @@ class PageTable:
         if soft_dirty:
             f |= PTE_SOFT_DIRTY
         self.flags[v] = f
+        self._rev_index = None
 
     def unmap(self, vpns: np.ndarray | list[int]) -> np.ndarray:
         """Remove mappings; returns the GPFNs that were mapped."""
@@ -91,6 +98,7 @@ class PageTable:
         gpfns = self.gpfn[v].copy()
         self.gpfn[v] = -1
         self.flags[v] = 0
+        self._rev_index = None
         return gpfns[gpfns >= 0]
 
     # ------------------------------------------------------------------
@@ -105,10 +113,14 @@ class PageTable:
     def set_flags(self, vpns: np.ndarray | list[int], flag: np.uint16) -> None:
         v = self._check_vpns(vpns)
         self.flags[v] |= flag
+        if flag & PTE_PRESENT:
+            self._rev_index = None
 
     def clear_flags(self, vpns: np.ndarray | list[int], flag: np.uint16) -> None:
         v = self._check_vpns(vpns)
         self.flags[v] &= ~flag
+        if flag & PTE_PRESENT:
+            self._rev_index = None
 
     # ------------------------------------------------------------------
     def mapped_vpns(self) -> np.ndarray:
@@ -126,19 +138,31 @@ class PageTable:
             raise InvalidAddressError("translate of unmapped VPN")
         return g.copy()
 
+    def _reverse_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted GPFNs, matching VPNs) for all present mappings.
+
+        Built lazily on first use and invalidated by map/unmap, so a burst
+        of reverse lookups against a stable table costs one O(M log M)
+        sort and then O(K log M) per lookup instead of O(M log M) each.
+        """
+        if self._rev_index is None:
+            mapped = self.mapped_vpns()
+            table_g = self.gpfn[mapped]
+            order = np.argsort(table_g, kind="stable")
+            self._rev_index = (table_g[order], mapped[order])
+        return self._rev_index
+
     def reverse_lookup(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
         """GPFN -> VPN reverse mapping (what SPML's OoH Lib must do).
 
         Performed by scanning the table, exactly as the paper's userspace
         reverse mapping parses ``/proc/PID/pagemap``; the time cost (M17)
-        is charged by the caller.  Unknown GPFNs map to -1.
+        is charged by the caller — the cached index below only cuts the
+        *simulator's* wall-clock, never the simulated cost.  Unknown GPFNs
+        map to -1.
         """
         g = np.asarray(gpfns, dtype=np.int64).ravel()
-        mapped = self.mapped_vpns()
-        table_g = self.gpfn[mapped]
-        order = np.argsort(table_g, kind="stable")
-        sorted_g = table_g[order]
-        sorted_v = mapped[order]
+        sorted_g, sorted_v = self._reverse_index()
         idx = np.searchsorted(sorted_g, g)
         idx_clipped = np.minimum(idx, len(sorted_g) - 1) if len(sorted_g) else idx
         out = np.full(g.shape, -1, dtype=np.int64)

@@ -6,6 +6,13 @@ cached translations (otherwise writes through stale writable entries would
 escape tracking — the real-Linux bug class the flush exists to prevent).
 We model a per-address-space set of cached VPNs so tests can assert the
 flush discipline, and we count flushes so the cost model can charge them.
+
+The MMU's fused fast path (:meth:`repro.hw.mmu.Mmu.access`) consults
+:meth:`cached_all` before skipping the page walk, so every code path that
+downgrades a cached translation (``clear_refs`` write-protection, ufd
+write-protect arming, EPML/oracle dirty-bit re-arming, heap unmaps,
+process exit) must call :meth:`invalidate` or :meth:`flush` — the same
+discipline real kernels follow with ``invlpg``/TLB shootdowns.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ class Tlb:
         self._cached = np.zeros(n_pages, dtype=bool)
         self.n_flushes = 0
         self.n_fills = 0
+        self.n_invalidations = 0
 
     def fill(self, vpns: np.ndarray) -> None:
         v = np.asarray(vpns, dtype=np.int64).ravel()
@@ -32,9 +40,18 @@ class Tlb:
         v = np.asarray(vpns, dtype=np.int64).ravel()
         return self._cached[v].copy()
 
+    def cached_all(self, vpns: np.ndarray) -> bool:
+        """True when every VPN has a cached translation.
+
+        Hot-path helper for the MMU's fused fast path: no defensive copy,
+        no bounds check (the MMU validates the batch first).
+        """
+        return bool(self._cached[vpns].all())
+
     def invalidate(self, vpns: np.ndarray) -> None:
         v = np.asarray(vpns, dtype=np.int64).ravel()
         self._cached[v] = False
+        self.n_invalidations += int(v.size)
 
     def flush(self) -> None:
         self._cached[:] = False

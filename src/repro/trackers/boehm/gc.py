@@ -14,7 +14,7 @@ technique reset drains the largest dirty set through the reverse mapper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

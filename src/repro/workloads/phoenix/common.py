@@ -9,7 +9,7 @@ write pattern and write/compute ratio).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

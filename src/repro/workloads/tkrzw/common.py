@@ -9,6 +9,7 @@ calibrated per engine (tree rebalancing, hashing, zlib compression, ...).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,7 +62,9 @@ class KvEngine(Workload):
 
     def _run(self, ctx: MemoryContext) -> None:
         arena = ctx.alloc_region(max(1, self.footprint_pages - 4), "arena")
-        rng = np.random.default_rng(hash(self.name) & 0xFFFF)
+        # crc32, not hash(): str hashes are salted per process
+        # (PYTHONHASHSEED), which made runs non-reproducible.
+        rng = np.random.default_rng(zlib.crc32(self.name.encode()) & 0xFFFF)
         done = 0
         while done < self.n_iter:
             n_ops = min(OPS_PER_BATCH, self.n_iter - done)

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.clock import World
 from repro.core.formulas import accuracy_pct, estimate
 from repro.core.tracking import Technique, make_tracker
 

@@ -1,6 +1,6 @@
 """Tests for the automated report generator."""
 
-from repro.experiments.report import PAPER_NOTES, generate_report, main
+from repro.experiments.report import PAPER_NOTES, main
 from repro.experiments.runner import EXPERIMENTS
 
 

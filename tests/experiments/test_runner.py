@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.runner import (
+    EXPERIMENT_FAMILIES,
     EXPERIMENTS,
     ExperimentOutput,
     main,
@@ -40,10 +41,44 @@ def test_table4_accuracy_in_quick_mode():
         assert float(row[6]) > 90.0
 
 
+def test_table5_pinned_quick_values():
+    """Pin the quick-mode Table Vb rows: the per-metric normalization must
+    not drift (guards the dead-code cleanup and the fused MMU rewrite)."""
+    out = run_experiment("table5", quick=True)
+    assert out.rows == [
+        ["m15_clear_refs", "0.0", "0.1", "0.3", "2.234"],
+        ["m16_pt_walk_user", "2.0", "14.5", "82.3", "594.187"],
+        ["m5_pf_kernel", "0.0", "0.3", "3.3", "33.580"],
+        ["m6_pf_user", "2.5", "27.3", "347.1", "3,483.000"],
+        ["m18_rb_copy", "0.0", "0.0", "0.0", "0.671"],
+        ["m17_reverse_map", "5.9", "24.6", "255.7", "15,738.000"],
+    ]
+
+
 def test_cli_main_runs_one(capsys):
     assert main(["table6", "--quick"]) == 0
     captured = capsys.readouterr()
     assert "Table VI" in captured.out
+
+
+def test_experiment_families_partition_registry():
+    flat = [n for family in EXPERIMENT_FAMILIES for n in family]
+    assert sorted(flat) == sorted(EXPERIMENTS)
+    assert len(flat) == len(set(flat))
+
+
+def test_cli_jobs_output_matches_serial(capsys):
+    """--jobs must not change output content or ordering."""
+    assert main(["all", "--quick"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["all", "--quick", "--jobs", "4"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["table6", "--jobs", "0"])
 
 
 def test_render_table_alignment():

@@ -1,7 +1,6 @@
 """Tests for the guest fault paths: minor, zero-page/COW, soft-dirty."""
 
 import numpy as np
-import pytest
 
 from repro.core.costs import EV_PF_KERNEL, EV_PF_MINOR
 from repro.hw.pagetable import PTE_SOFT_DIRTY, PTE_WRITABLE, PTE_ZERO

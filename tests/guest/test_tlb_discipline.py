@@ -1,0 +1,86 @@
+"""TLB invalidation discipline across the tracking stack.
+
+The MMU's fused fast path trusts TLB-cached translations only together
+with the actual PTE/EPT flags, but the *discipline* the Tlb docstring
+promises — every path that downgrades a cached translation invalidates
+it — must hold regardless.  These tests pin each invalidation site.
+"""
+
+import numpy as np
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique, make_tracker
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+
+
+def _stack(vm_mb=8, n_pages=256):
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=vm_mb * 4)
+    vm = hv.create_vm("vm0", mem_mb=vm_mb)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn("app", n_pages=n_pages)
+    proc.space.add_vma(n_pages // 2)
+    return kernel, proc
+
+
+def test_access_fills_tlb():
+    kernel, proc = _stack()
+    vpns = np.arange(0, 16, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    assert proc.space.tlb.cached_mask(vpns).all()
+
+
+def test_oracle_start_and_collect_invalidate():
+    kernel, proc = _stack()
+    vpns = np.arange(0, 16, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    tracker = make_tracker(Technique.ORACLE, kernel, proc)
+    tracker.start()  # clears PTE dirty on mapped pages -> must invalidate
+    assert not proc.space.tlb.cached_mask(vpns).any()
+    kernel.access(proc, vpns, True)
+    assert proc.space.tlb.cached_mask(vpns).all()
+    dirty = tracker.collect()  # re-arms dirty bits -> must invalidate
+    assert set(vpns.tolist()) <= set(dirty.tolist())
+    assert not proc.space.tlb.cached_mask(vpns).any()
+    tracker.stop()
+
+
+def test_epml_attach_and_collect_invalidate():
+    kernel, proc = _stack()
+    vpns = np.arange(0, 16, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    tracker = make_tracker(Technique.EPML, kernel, proc)
+    tracker.start()  # attach clears dirty bits on mapped pages
+    assert not proc.space.tlb.cached_mask(vpns).any()
+    kernel.access(proc, vpns, True)
+    dirty = tracker.collect()  # collection re-arms the collected VPNs
+    assert set(vpns.tolist()) <= set(dirty.tolist())
+    assert not proc.space.tlb.cached_mask(vpns).any()
+    tracker.stop()
+
+
+def test_exit_process_flushes():
+    kernel, proc = _stack()
+    kernel.access(proc, np.arange(0, 8, dtype=np.int64), True)
+    flushes = proc.space.tlb.n_flushes
+    kernel.exit_process(proc)
+    assert proc.space.tlb.n_flushes == flushes + 1
+    assert proc.space.tlb.n_cached == 0
+
+
+def test_heap_unmap_invalidates():
+    from repro.trackers.boehm import GcHeap
+
+    kernel, proc = _stack(vm_mb=16, n_pages=2048)
+    heap = GcHeap(kernel, proc, heap_pages=1024)
+    # Fill pages with objects, then free them all: empty pages are
+    # unmapped and their cached translations must go.
+    ids = heap.alloc(64, 4096)  # one object per page
+    pages = np.unique(heap.obj_page[ids])
+    assert proc.space.tlb.cached_mask(pages).all()
+    inval0 = proc.space.tlb.n_invalidations
+    heap.free_objects(ids)
+    assert proc.space.tlb.n_invalidations > inval0
+    assert not proc.space.tlb.cached_mask(pages).any()

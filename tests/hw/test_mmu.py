@@ -183,3 +183,58 @@ def test_tlb_filled_after_access(env):
     mmu, pt, tlb, h, *_ = env
     mmu.access(pt, tlb, [0, 7], True, h)
     assert tlb.cached_mask(np.array([0, 7])).all()
+
+
+def test_fused_toggle_constructor_and_env(monkeypatch):
+    host = PhysicalMemory(64)
+    ept = Ept(64)
+    pml = PmlCircuit(vm.Vmcs(), capacity=512)
+    assert Mmu(ept, host, pml).fused is True
+    assert Mmu(ept, host, pml, fused=False).fused is False
+    monkeypatch.setenv("REPRO_FUSED_MMU", "0")
+    assert Mmu(ept, host, pml).fused is False
+    monkeypatch.setenv("REPRO_FUSED_MMU", "1")
+    assert Mmu(ept, host, pml, fused=False).fused is False  # arg wins
+
+
+def test_fast_path_counters_and_result(env):
+    mmu, pt, tlb, h, *_ = env
+    vpns = np.arange(10, 42, dtype=np.int64)
+    mmu.access(pt, tlb, vpns, True, h)
+    assert mmu.n_fast_batches == 0  # first touch faults: full walk
+    r = mmu.access(pt, tlb, vpns, True, h)
+    assert mmu.n_fast_batches == 1
+    assert mmu.n_fast_accesses == vpns.size
+    assert r.n_accesses == vpns.size
+    assert r.newly_pte_dirty.size == 0 and r.newly_ept_dirty.size == 0
+    # Content tokens still advance on the fast path.
+    toks1 = mmu.read_page_contents(pt, vpns)
+    mmu.access(pt, tlb, vpns, True, h)
+    assert mmu.n_fast_batches == 2
+    assert (mmu.read_page_contents(pt, vpns) != toks1).all()
+
+
+def test_fast_path_requires_sorted_unique_batch(env):
+    mmu, pt, tlb, h, *_ = env
+    vpns = np.array([5, 3, 4], dtype=np.int64)
+    mmu.access(pt, tlb, vpns, True, h)
+    mmu.access(pt, tlb, vpns, True, h)
+    assert mmu.n_fast_batches == 0  # unsorted: always the full walk
+
+
+def test_fast_path_declines_when_tlb_cold(env):
+    mmu, pt, tlb, h, *_ = env
+    vpns = np.arange(0, 8, dtype=np.int64)
+    mmu.access(pt, tlb, vpns, True, h)
+    tlb.invalidate(vpns)
+    mmu.access(pt, tlb, vpns, True, h)
+    assert mmu.n_fast_batches == 0
+
+
+def test_multipass_never_takes_fast_path(env):
+    mmu, pt, tlb, h, *_ = env
+    mmu.fused = False
+    vpns = np.arange(0, 8, dtype=np.int64)
+    mmu.access(pt, tlb, vpns, True, h)
+    mmu.access(pt, tlb, vpns, True, h)
+    assert mmu.n_fast_batches == 0

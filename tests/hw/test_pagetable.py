@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.errors import ConfigurationError, InvalidAddressError
 from repro.hw.pagetable import (
     PTE_DIRTY,
-    PTE_PRESENT,
     PTE_SOFT_DIRTY,
     PTE_UFD_WP,
     PTE_WRITABLE,

@@ -8,7 +8,7 @@ from repro.core.tracking import Technique, make_tracker
 from repro.experiments.harness import build_stack
 from repro.trackers.boehm import BoehmGc, GcHeap, GcParams
 from repro.trackers.criu import Criu, restore
-from repro.workloads import FlatContext, GcContext, make_workload
+from repro.workloads import FlatContext, make_workload
 
 
 def test_full_stack_checkpoint_of_running_workload():

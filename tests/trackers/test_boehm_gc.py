@@ -1,6 +1,5 @@
 """Tests for the Boehm-style collector (full + minor cycles)."""
 
-import numpy as np
 import pytest
 
 from repro.core.tracking import Technique

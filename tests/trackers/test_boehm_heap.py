@@ -10,7 +10,7 @@ from repro.core.costs import CostModel
 from repro.errors import GcError
 from repro.guest.kernel import GuestKernel
 from repro.hypervisor.hypervisor import Hypervisor
-from repro.trackers.boehm.heap import GEN_YOUNG, GcHeap
+from repro.trackers.boehm.heap import GcHeap
 
 
 @pytest.fixture()

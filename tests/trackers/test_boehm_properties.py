@@ -1,7 +1,5 @@
 """Property-based tests for the GC: safety under random heap histories."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

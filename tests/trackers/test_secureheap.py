@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.oohspp import OohSpp
 from repro.errors import GcError, TrackingError
-from repro.hw.spp import SUBPAGE_BYTES, SUBPAGES_PER_PAGE
+from repro.hw.spp import SUBPAGE_BYTES
 from repro.trackers.secureheap import GuardMode, OverflowDetected, SecureHeap
 
 

@@ -1,6 +1,5 @@
 """Tests for the use-after-free mitigator."""
 
-import numpy as np
 import pytest
 
 from repro.core.tracking import Technique

@@ -66,8 +66,7 @@ def test_tiny_stripes_by_thread():
 def test_engine_footprint_dirty_coverage():
     """A full small-config run dirties a large fraction of the arena for
     the uniform engines — the property CRIU dump sizes rest on."""
-    from types import SimpleNamespace
-
+    
     from repro.core.clock import SimClock
     from repro.core.costs import CostModel
     from repro.core.tracking import Technique, make_tracker

@@ -1,6 +1,5 @@
 """Per-app behavioural tests for the Phoenix models."""
 
-import numpy as np
 import pytest
 from types import SimpleNamespace
 

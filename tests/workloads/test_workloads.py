@@ -1,6 +1,5 @@
 """Tests for the workload suite (configs, arrayparser, phoenix, tkrzw)."""
 
-import numpy as np
 import pytest
 from types import SimpleNamespace
 
