@@ -54,6 +54,7 @@ from repro.hw import vmcs as vmcsf
 from repro.hw.interrupts import VECTOR_OOH_PML_FULL
 from repro.hw.pagetable import PTE_DIRTY
 from repro.hypervisor import hypercalls as hc
+from repro.retry import Retrier
 
 __all__ = ["OohKind", "OohModule", "OohLib", "OohAttachment"]
 
@@ -74,6 +75,11 @@ class CollectStats:
     n_vpns: int = 0
     n_unresolved: int = 0  # SPML GPAs with no current mapping
     dropped: int = 0  # ring-buffer overflow losses since attach
+    n_resyncs: int = 0  # conservative resyncs performed this collect
+    n_retries: int = 0  # transient-failure retries this collect
+    n_recovered_ipis: int = 0  # lost-self-IPI batches drained at collect
+    n_lost_vmexits: int = 0  # PML-full vmexits dropped since attach
+    resynced: bool = False  # result includes the whole mapped set
 
 
 class OohAttachment:
@@ -86,6 +92,7 @@ class OohAttachment:
         kind: OohKind,
         ring: RingBuffer,
         reverse_map_cache: bool = False,
+        resync_on_loss: bool = False,
     ) -> None:
         self.module = module
         self.process = process
@@ -93,6 +100,15 @@ class OohAttachment:
         self.ring = ring
         self.active = True
         self.last_stats = CollectStats()
+        #: When True, any detected entry loss (ring overflow, circuit
+        #: drop, swallowed vmexit) triggers a conservative resync: the
+        #: collect returns every mapped page, so no dirty page can be
+        #: missed at the price of over-reporting.  Off by default — the
+        #: completeness experiments measure raw loss behaviour.
+        self.resync_on_loss = resync_on_loss
+        #: Loss-counter baseline; updated by each collect (see
+        #: :meth:`OohModule._loss_counter`).
+        self._loss_mark = 0
         #: SPML only: cache resolved GPA -> GVA translations so repeated
         #: collections skip the expensive reverse mapping (the paper's
         #: Boehm integration "reuses the addresses collected during the
@@ -138,6 +154,13 @@ class OohModule:
         self._idt_registered = False
         self._guest_buf_gpfn: int | None = None
         self.n_self_ipis_handled = 0
+        #: Transient hypercall / allocation failures back off and retry
+        #: (kernel context: the module issues the calls).
+        self.retrier = Retrier(self.clock, World.KERNEL)
+
+    def _hc(self, nr: int, *args: object) -> object:
+        """Issue a hypercall, retrying transient (EAGAIN-class) failures."""
+        return self.retrier.call(lambda: self.vcpu.hypercall(nr, *args))
 
     @classmethod
     def shared(
@@ -162,6 +185,7 @@ class OohModule:
         process: Process,
         kind: OohKind,
         reverse_map_cache: bool = False,
+        resync_on_loss: bool = False,
     ) -> OohAttachment:
         """Register a tracked PID (one at a time, like a UIO device)."""
         if self._attachment is not None and self._attachment.active:
@@ -172,8 +196,33 @@ class OohModule:
             att = self._attach_spml(process, reverse_map_cache)
         else:
             att = self._attach_epml(process)
+        att.resync_on_loss = resync_on_loss
+        att._loss_mark = self._loss_counter(att)
         self._attachment = att
         return att
+
+    def _loss_counter(self, att: OohAttachment) -> int:
+        """Monotonic count of entries lost on ``att``'s datapath.
+
+        A collect compares this against the attachment's baseline: any
+        increase means dirty addresses vanished before the tracker saw
+        them, and (with ``resync_on_loss``) triggers a conservative
+        resync.  All components are *surfaced* counters, so losses are
+        never silent even when resync is off.
+        """
+        pml = self.vcpu.pml
+        if att.kind is OohKind.EPML:
+            return (
+                att.ring.total_dropped
+                + pml.n_guest_dropped
+                + pml.n_guest_injected_drops
+            )
+        return (
+            att.ring.total_dropped
+            + pml.n_hyp_dropped
+            + pml.n_hyp_injected_drops
+            + self.vcpu.n_dropped_vmexits
+        )
 
     # -- SPML -------------------------------------------------------------
     def _attach_spml(
@@ -182,7 +231,7 @@ class OohModule:
         self.clock.charge(
             self.costs.params.hc_init_pml_us, World.TRACKER, EV_HC_INIT_PML
         )
-        ring = self.vcpu.hypercall(hc.HC_OOH_INIT_PML, self.ring_capacity)
+        ring = self._hc(hc.HC_OOH_INIT_PML, self.ring_capacity)
         att = OohAttachment(
             self, process, OohKind.SPML, ring, reverse_map_cache=reverse_map_cache
         )
@@ -195,7 +244,7 @@ class OohModule:
         self.clock.charge(
             self.costs.params.enable_logging_us, World.KERNEL, EV_ENABLE_LOGGING
         )
-        self.vcpu.hypercall(hc.HC_OOH_ENABLE_LOGGING)
+        self._hc(hc.HC_OOH_ENABLE_LOGGING)
 
     def _spml_disable(self, process: Process) -> None:
         self.clock.charge(
@@ -203,15 +252,18 @@ class OohModule:
             World.KERNEL,
             EV_DISABLE_LOGGING,
         )
-        self.vcpu.hypercall(hc.HC_OOH_DISABLE_LOGGING)
+        self._hc(hc.HC_OOH_DISABLE_LOGGING)
 
     def _collect_spml(self, att: OohAttachment) -> np.ndarray:
         """Flush + drain + reverse-map + re-arm (tracker context)."""
+        retries_before = self.retrier.n_retries
         # Flush residual PML-buffer entries into the ring and pause.
         self._spml_disable(att.process)
         gpas = att.ring.pop_all()
         stats = CollectStats(
-            n_entries=int(gpas.size), dropped=att.ring.total_dropped
+            n_entries=int(gpas.size),
+            dropped=att.ring.total_dropped,
+            n_lost_vmexits=self.vcpu.n_dropped_vmexits,
         )
         mem_pages = att.process.space.n_pages
         self.clock.charge(
@@ -267,11 +319,14 @@ class OohModule:
         vpns = vpns[vpns >= 0]
         # Re-arm the EPT dirty bits so the next interval re-logs.
         if gpas.size:
-            self.vcpu.hypercall(hc.HC_OOH_RESET_DIRTY, gpas.astype(np.int64))
+            self._hc(hc.HC_OOH_RESET_DIRTY, gpas.astype(np.int64))
+        vpns = np.asarray(vpns, dtype=np.int64)
+        vpns = self._maybe_resync(att, stats, vpns)
         self._spml_enable(att.process)
+        stats.n_retries = self.retrier.n_retries - retries_before
         stats.n_vpns = int(vpns.size)
         att.last_stats = stats
-        return np.asarray(vpns, dtype=np.int64)
+        return vpns
 
     # -- EPML -------------------------------------------------------------
     def _attach_epml(self, process: Process) -> OohAttachment:
@@ -280,11 +335,11 @@ class OohModule:
             World.TRACKER,
             EV_HC_INIT_PML_SHADOW,
         )
-        self.vcpu.hypercall(hc.HC_OOH_INIT_PML_SHADOW)
+        self._hc(hc.HC_OOH_INIT_PML_SHADOW)
         # Allocate the guest-level PML buffer (one guest page) and point
         # the (shadow) VMCS at it; the extended vmwrite translates the
         # GPA through the EPT.
-        buf_gpfn = int(self.kernel.vm.guest_frames.alloc(1)[0])
+        buf_gpfn = int(self.retrier.call(lambda: self.kernel.vm.guest_frames.alloc(1))[0])
         self._guest_buf_gpfn = buf_gpfn
         self.vcpu.vmwrite(vmcsf.F_GUEST_PML_ADDRESS, buf_gpfn)
         self.vcpu.pml.configure_guest_buffer()
@@ -332,6 +387,16 @@ class OohModule:
 
     def _collect_epml(self, att: OohAttachment) -> np.ndarray:
         """Plain ring drain; re-arm by clearing PTE dirty bits."""
+        retries_before = self.retrier.n_retries
+        stats = CollectStats()
+        # Recover notification failures before draining: deliver any
+        # injection-delayed self-IPIs, then sweep batches whose IPI was
+        # lost outright (they sit in the pending list; the module finds
+        # them when the tracker enters the collect path).
+        self.vcpu.interrupts.flush_delayed()
+        if self._pending_guest_entries:
+            stats.n_recovered_ipis = len(self._pending_guest_entries)
+            self._self_ipi_handler(VECTOR_OOH_PML_FULL)
         # Pull residual entries still in the guest-level PML buffer.
         residual = self.vcpu.pml.drain_guest()
         if residual.size:
@@ -343,9 +408,8 @@ class OohModule:
             )
             att.ring.push(residual)
         gvas = att.ring.pop_all()
-        stats = CollectStats(
-            n_entries=int(gvas.size), dropped=att.ring.total_dropped
-        )
+        stats.n_entries = int(gvas.size)
+        stats.dropped = att.ring.total_dropped
         self.clock.charge(
             self.costs.rb_copy_us(int(gvas.size), att.process.space.n_pages),
             World.TRACKER,
@@ -365,6 +429,8 @@ class OohModule:
                 "pte_dirty_clear",
                 int(vpns.size),
             )
+        vpns = self._maybe_resync(att, stats, vpns)
+        stats.n_retries = self.retrier.n_retries - retries_before
         stats.n_vpns = int(vpns.size)
         att.last_stats = stats
         return vpns
@@ -395,7 +461,7 @@ class OohModule:
             self.clock.charge(
                 self.costs.params.hc_deact_pml_us, World.TRACKER, EV_HC_DEACT_PML
             )
-            self.vcpu.hypercall(hc.HC_OOH_DEACT_PML)
+            self._hc(hc.HC_OOH_DEACT_PML)
         else:
             self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
             self.clock.charge(
@@ -403,7 +469,78 @@ class OohModule:
                 World.TRACKER,
                 EV_HC_DEACT_PML_SHADOW,
             )
-            self.vcpu.hypercall(hc.HC_OOH_DEACT_PML_SHADOW)
+            self._hc(hc.HC_OOH_DEACT_PML_SHADOW)
+            if self._guest_buf_gpfn is not None:
+                self.kernel.vm.guest_frames.free([self._guest_buf_gpfn])
+                self._guest_buf_gpfn = None
+        self._attachment = None
+
+    # -- recovery ---------------------------------------------------------
+    def _maybe_resync(
+        self, att: OohAttachment, stats: CollectStats, vpns: np.ndarray
+    ) -> np.ndarray:
+        """Fold a conservative resync into the result if entries were lost."""
+        loss_now = self._loss_counter(att)
+        lost = loss_now - att._loss_mark
+        att._loss_mark = loss_now
+        if lost <= 0 or not att.resync_on_loss:
+            return vpns
+        mapped = self._conservative_resync(att)
+        stats.n_resyncs += 1
+        stats.resynced = True
+        return np.union1d(vpns, mapped).astype(np.int64)
+
+    def _conservative_resync(self, att: OohAttachment) -> np.ndarray:
+        """Mark the whole tracked VMA dirty after a detected loss.
+
+        Entries vanished somewhere between the logging circuit and the
+        ring, so the only safe answer is *every mapped page*; the walk is
+        charged like a /proc pagemap scan and the dirty state is re-armed
+        so the next interval starts clean.
+        """
+        mapped = att.process.space.pt.mapped_vpns()
+        self.clock.charge(
+            self.costs.pt_walk_user_us(att.process.space.n_pages),
+            World.TRACKER,
+            "conservative_resync",
+        )
+        if mapped.size == 0:
+            return mapped
+        if att.kind is OohKind.EPML:
+            att.process.space.pt.clear_flags(mapped, PTE_DIRTY)
+            att.process.space.tlb.invalidate(mapped)
+        else:
+            gpas = att.process.space.pt.translate(mapped)
+            self._hc(hc.HC_OOH_RESET_DIRTY, gpas.astype(np.int64))
+        return mapped.astype(np.int64)
+
+    def force_detach(self) -> None:
+        """Crash-only teardown: release module state without hypercalls.
+
+        Used by the fallback chain when the orderly detach path itself is
+        failing (e.g. exhausted hypercall retries): drop scheduler hooks,
+        clear the coordination flags object-side, and free the guest
+        buffer so another technique can attach immediately.
+        """
+        att = self._attachment
+        if att is None:
+            return
+        att.active = False
+        hooks = getattr(att, "_hooks", None)
+        if hooks is not None:
+            self.kernel.scheduler.remove_hooks(*hooks)
+        self._pending_guest_entries.clear()
+        vm = self.kernel.vm
+        if att.kind is OohKind.SPML:
+            vm.enabled_by_guest = False
+            vm.spml_ring = None
+            if not vm.enabled_by_hyp:
+                self.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
+        else:
+            # Object-level VMCS writes (no vmwrite cost/mode checks): the
+            # "crashed" module cannot run the normal teardown path.
+            self.vcpu.pml._guest_vmcs().write(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+            self.vcpu.pml.on_guest_full = None
             if self._guest_buf_gpfn is not None:
                 self.kernel.vm.guest_frames.free([self._guest_buf_gpfn])
                 self._guest_buf_gpfn = None
@@ -427,12 +564,15 @@ class OohLib:
         process: Process,
         kind: OohKind,
         reverse_map_cache: bool = False,
+        resync_on_loss: bool = False,
     ) -> OohAttachment:
         """ioctl(OOH_INIT) into the module (M3), then module setup."""
         self.clock.charge(
             self.costs.params.ioctl_init_pml_us, World.TRACKER, EV_IOCTL_INIT_PML
         )
-        return self.module.attach(process, kind, reverse_map_cache)
+        return self.module.attach(
+            process, kind, reverse_map_cache, resync_on_loss=resync_on_loss
+        )
 
     def fetch(self, attachment: OohAttachment) -> np.ndarray:
         """Fetch dirty VPNs collected since the last fetch."""

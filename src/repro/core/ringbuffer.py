@@ -19,6 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults import injector as finj
+from repro.faults.plan import FaultSite
 
 __all__ = ["RingBuffer"]
 
@@ -66,7 +68,7 @@ class RingBuffer:
             self._head = 0
             self._size = self._capacity
             self.total_dropped += dropped
-            return dropped
+            return dropped + self._injected_overflow()
         dropped = max(0, n - self.free)
         if dropped:
             self._head = (self._head + dropped) % self._capacity
@@ -78,7 +80,22 @@ class RingBuffer:
         if first < n:
             self._buf[:n - first] = arr[first:]
         self._size += n
-        return dropped
+        return dropped + self._injected_overflow()
+
+    def _injected_overflow(self) -> int:
+        """Fault injection: a lagging consumer loses the oldest entries.
+
+        Surfaced through the same ``total_dropped`` counter as organic
+        overflow, so every existing drop-accounting path sees it.
+        """
+        if finj.ACTIVE is None:
+            return 0
+        k = finj.ACTIVE.drop_count(FaultSite.RING_OVERFLOW, self._size)
+        if k:
+            self._head = (self._head + k) % self._capacity
+            self._size -= k
+            self.total_dropped += k
+        return k
 
     def pop_all(self) -> np.ndarray:
         """Drain the buffer, returning entries in FIFO order."""

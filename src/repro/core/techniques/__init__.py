@@ -5,6 +5,7 @@ Importing this package populates the registry used by
 """
 
 from repro.core.techniques.epml import EpmlTracker
+from repro.core.techniques.fallback import FallbackTracker
 from repro.core.techniques.oracle import OracleTracker
 from repro.core.techniques.proc import ProcTracker
 from repro.core.techniques.spml import SpmlTracker
@@ -16,4 +17,5 @@ __all__ = [
     "SpmlTracker",
     "EpmlTracker",
     "OracleTracker",
+    "FallbackTracker",
 ]

@@ -21,13 +21,22 @@ __all__ = ["EpmlTracker"]
 class EpmlTracker(DirtyPageTracker):
     technique = Technique.EPML
 
-    def __init__(self, kernel, process, ooh_lib: OohLib | None = None) -> None:
+    def __init__(
+        self,
+        kernel,
+        process,
+        ooh_lib: OohLib | None = None,
+        resync_on_loss: bool = False,
+    ) -> None:
         super().__init__(kernel, process)
         self._lib = ooh_lib if ooh_lib is not None else OohLib(OohModule.shared(kernel))
         self._att: OohAttachment | None = None
+        self.resync_on_loss = resync_on_loss
 
     def _do_start(self) -> None:
-        self._att = self._lib.attach(self.process, OohKind.EPML)
+        self._att = self._lib.attach(
+            self.process, OohKind.EPML, resync_on_loss=self.resync_on_loss
+        )
 
     def _do_collect(self) -> np.ndarray:
         assert self._att is not None

@@ -26,6 +26,7 @@ class SpmlTracker(DirtyPageTracker):
         process,
         ooh_lib: OohLib | None = None,
         reverse_map_cache: bool = False,
+        resync_on_loss: bool = False,
     ) -> None:
         super().__init__(kernel, process)
         self._lib = ooh_lib if ooh_lib is not None else OohLib(OohModule.shared(kernel))
@@ -34,10 +35,14 @@ class SpmlTracker(DirtyPageTracker):
         #: paper's Boehm integration amortises reverse mapping after the
         #: first GC cycle; CRIU collects once, so it never benefits).
         self.reverse_map_cache = reverse_map_cache
+        self.resync_on_loss = resync_on_loss
 
     def _do_start(self) -> None:
         self._att = self._lib.attach(
-            self.process, OohKind.SPML, reverse_map_cache=self.reverse_map_cache
+            self.process,
+            OohKind.SPML,
+            reverse_map_cache=self.reverse_map_cache,
+            resync_on_loss=self.resync_on_loss,
         )
 
     def _do_collect(self) -> np.ndarray:

@@ -35,6 +35,9 @@ class Technique(enum.Enum):
     SPML = "spml"
     EPML = "epml"
     ORACLE = "oracle"
+    #: Graceful-degradation chain: EPML -> SPML -> /proc, falling forward
+    #: after consecutive failures (robustness layer, DESIGN.md §7).
+    FALLBACK = "fallback"
 
 
 class DirtyPageTracker(abc.ABC):
@@ -68,6 +71,15 @@ class DirtyPageTracker(abc.ABC):
         if not self._started:
             return
         self._do_stop()
+        self._started = False
+
+    def abort(self) -> None:
+        """Crash-only stop: mark not-started without running teardown.
+
+        Used by recovery paths when the orderly ``_do_stop`` is itself
+        failing; the caller is responsible for whatever force-cleanup the
+        backing mechanism needs (e.g. ``OohModule.force_detach``).
+        """
         self._started = False
 
     def __enter__(self) -> "DirtyPageTracker":

@@ -35,8 +35,41 @@ class VmcsError(ReproError):
     """Invalid VMCS access (bad field, wrong CPU mode, no current VMCS)."""
 
 
+#: Hypercall error codes a retry policy should treat as transient.
+TRANSIENT_HYPERCALL_CODES = frozenset({"EAGAIN", "EBUSY", "EINTR"})
+
+
 class HypercallError(ReproError):
-    """A hypercall was rejected by the hypervisor."""
+    """A hypercall was rejected by the hypervisor.
+
+    ``code`` is a machine-readable errno-style string; retry policies use
+    it to distinguish transient failures (EAGAIN/EBUSY/EINTR — retry with
+    backoff) from permanent ones (EINVAL/ENOSYS — fail fast).
+    """
+
+    def __init__(self, message: str, code: str = "EINVAL") -> None:
+        super().__init__(message)
+        self.code = code
+
+    @property
+    def transient(self) -> bool:
+        return self.code in TRANSIENT_HYPERCALL_CODES
+
+
+class TransientError(ReproError):
+    """A failure that is expected to clear on retry (resource pressure,
+    injected fault, lost notification); callers may retry with backoff."""
+
+
+class FaultInjectedError(ReproError):
+    """Raised by a fault-injection site that models outright failure with
+    no organic errno analogue (see :mod:`repro.faults`)."""
+
+
+class ResyncRequired(ReproError):
+    """Dirty-page log state may have lost events (overflow, lost IPI);
+    the caller must conservatively resynchronise — treat the whole tracked
+    region as dirty — before trusting the log again."""
 
 
 class PmlError(ReproError):

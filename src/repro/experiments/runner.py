@@ -26,6 +26,7 @@ from repro.core import formulas
 from repro.core.calibration import TABLE_VB_MS, TABLE_VB_SIZES_MB, mb_to_pages
 from repro.core.costs import CostModel
 from repro.core.tracking import Technique
+from repro.experiments.faultmatrix import exp_fault_matrix
 from repro.experiments.harness import (
     run_boehm,
     run_criu,
@@ -421,6 +422,7 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentOutput]] = {
     "fig8": exp_fig8,
     "fig9": exp_fig9,
     "fig10_11": exp_fig10_11,
+    "fault_matrix": exp_fault_matrix,
 }
 
 
@@ -442,6 +444,7 @@ EXPERIMENT_FAMILIES: list[list[str]] = [
     ["fig5", "fig6"],
     ["fig7", "fig8", "fig9"],
     ["fig10_11"],
+    ["fault_matrix"],
 ]
 
 

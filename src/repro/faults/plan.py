@@ -1,0 +1,90 @@
+"""Typed fault sites and seed-driven fault plans.
+
+A :class:`FaultPlan` names which hardware/hypervisor seams misbehave and
+at what rate; building it yields a :class:`~repro.faults.injector.FaultInjector`
+whose per-site RNG streams are derived from ``seed`` alone, so a plan
+replays the exact same fault sequence on every run regardless of which
+other sites are enabled (each site owns an independent stream).
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["FaultSite", "FaultSpec", "FaultPlan"]
+
+
+class FaultSite(enum.Enum):
+    """The seams the injector can perturb (paper components in brackets)."""
+
+    #: A PML entry is lost in the buffer-full race window (§II-B circuit).
+    PML_ENTRY_DROP = "pml_entry_drop"
+    #: The EPML buffer-full posted self-IPI is never delivered (§IV-D).
+    LOST_SELF_IPI = "lost_self_ipi"
+    #: The self-IPI is deferred until the next interrupt/flush.
+    DELAYED_SELF_IPI = "delayed_self_ipi"
+    #: A hypercall fails with a transient errno (EAGAIN) before dispatch.
+    HYPERCALL_TRANSIENT = "hypercall_transient"
+    #: The shared ring buffer loses its oldest entries (consumer lag).
+    RING_OVERFLOW = "ring_overflow"
+    #: A PML-full vmexit is not delivered; the drained batch vanishes.
+    VMEXIT_DROP = "vmexit_drop"
+    #: The frame allocator transiently refuses an allocation.
+    FRAME_EXHAUSTION = "frame_exhaustion"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's firing behaviour inside a plan.
+
+    ``rate`` is the per-opportunity (or, for entry-drop sites, per-entry)
+    firing probability; ``skip_first`` opportunities never fire (lets a
+    plan spare setup phases); ``max_fires`` caps total fires (None =
+    unlimited).
+    """
+
+    site: FaultSite
+    rate: float
+    max_fires: int | None = None
+    skip_first: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1]: {self.rate}")
+        if self.skip_first < 0:
+            raise ValueError(f"skip_first must be >= 0: {self.skip_first}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0: {self.max_fires}")
+
+
+def site_seed(seed: int, site: FaultSite) -> int:
+    """Stable per-site RNG seed (crc32, not hash(): PYTHONHASHSEED-proof)."""
+    return (seed & 0xFFFFFFFF) ^ zlib.crc32(site.value.encode())
+
+
+class FaultPlan:
+    """An immutable set of :class:`FaultSpec` plus the master seed."""
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...],
+                 seed: int = 0) -> None:
+        sites = [s.site for s in specs]
+        if len(set(sites)) != len(sites):
+            raise ValueError("duplicate fault site in plan")
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+
+    def build(self):
+        """Fresh injector with rewound RNG streams."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self)
+
+    def active(self):
+        """Context manager: build and activate a fresh injector."""
+        return self.build().active()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{s.site.value}@{s.rate}" for s in self.specs)
+        return f"FaultPlan(seed={self.seed}, [{body}])"

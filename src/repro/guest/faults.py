@@ -28,6 +28,7 @@ from repro.guest.process import Process
 from repro.guest.uffd import UfdMode, UserFaultFd
 from repro.hw.memory import FrameAllocator
 from repro.hw.pagetable import PTE_SOFT_DIRTY, PTE_WRITABLE, PTE_ZERO
+from repro.retry import Retrier
 
 __all__ = ["ProcessFaultHandler"]
 
@@ -48,6 +49,13 @@ class ProcessFaultHandler:
         self.guest_frames = guest_frames
         self.n_minor = 0
         self.n_soft_dirty = 0
+        # Transient allocator exhaustion behaves like direct reclaim:
+        # back off (charged to kernel time) and retry the allocation.
+        self._retrier = Retrier(clock, World.KERNEL)
+
+    @property
+    def n_alloc_retries(self) -> int:
+        return self._retrier.n_retries
 
     # -- FaultHandlers protocol ----------------------------------------
     def handle_minor_fault(
@@ -60,7 +68,7 @@ class ProcessFaultHandler:
         if write_mask is None:
             write_mask = np.ones(n, dtype=bool)
         write_mask = np.asarray(write_mask, dtype=bool)
-        gpfns = self.guest_frames.alloc(n)
+        gpfns = self._retrier.call(lambda: self.guest_frames.alloc(n))
         pt = self.process.space.pt
         # Write faults install writable, soft-dirty mappings; read faults
         # install clean read-only zero-page mappings (Linux semantics —

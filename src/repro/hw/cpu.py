@@ -30,6 +30,8 @@ from repro.core.costs import (
     CostModel,
 )
 from repro.errors import VmcsError
+from repro.faults import injector as finj
+from repro.faults.plan import FaultSite
 from repro.hw import vmcs as vm
 from repro.hw.ept import Ept
 from repro.hw.interrupts import InterruptController
@@ -74,6 +76,8 @@ class Vcpu:
         self.ept: Ept | None = None  # set by the owning VM
         self._exit_handlers: dict[ExitReason, ExitHandler] = {}
         self.n_vmexits = 0
+        #: PML-full vmexits swallowed by fault injection (batch vanished).
+        self.n_dropped_vmexits = 0
 
     # ------------------------------------------------------------------
     # vmexit machinery
@@ -83,6 +87,15 @@ class Vcpu:
 
     def vmexit(self, reason: ExitReason, payload: object = None) -> object:
         """Trap to root mode, run the handler, resume non-root mode."""
+        if (
+            finj.ACTIVE is not None
+            and reason is ExitReason.PML_FULL
+            and finj.ACTIVE.should_fire(FaultSite.VMEXIT_DROP)
+        ):
+            # Delivery failure: no root-mode transition happens, so no
+            # cost is charged and the handler never sees the batch.
+            self.n_dropped_vmexits += 1
+            return None
         handler = self._exit_handlers.get(reason)
         if handler is None:
             raise VmcsError(f"no handler installed for vmexit {reason}")

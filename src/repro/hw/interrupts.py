@@ -21,6 +21,8 @@ from typing import Callable
 from repro.core.clock import SimClock, World
 from repro.core.costs import EV_SELF_IPI, CostModel
 from repro.errors import ConfigurationError
+from repro.faults import injector as finj
+from repro.faults.plan import FaultSite
 
 __all__ = ["VECTOR_OOH_PML_FULL", "InterruptController"]
 
@@ -42,6 +44,10 @@ class InterruptController:
         self._handlers: dict[int, Handler] = {}
         self.n_posted = 0
         self.n_virtual = 0
+        #: Self-IPIs swallowed / deferred by fault injection.
+        self.n_lost = 0
+        self.n_delayed = 0
+        self._delayed: list[int] = []
 
     def register(self, vector: int, handler: Handler) -> None:
         if not 0 <= vector <= 0xFF:
@@ -54,6 +60,26 @@ class InterruptController:
     def post(self, vector: int) -> bool:
         """Posted-interrupt delivery (no vmexit). Returns handled?"""
         self.n_posted += 1
+        if finj.ACTIVE is not None:
+            if finj.ACTIVE.should_fire(FaultSite.LOST_SELF_IPI):
+                self.n_lost += 1
+                return False
+            if finj.ACTIVE.should_fire(FaultSite.DELAYED_SELF_IPI):
+                self.n_delayed += 1
+                self._delayed.append(vector)
+                return False
+        if self._delayed:
+            self.flush_delayed()
+        return self._deliver(vector)
+
+    def flush_delayed(self) -> int:
+        """Deliver any injection-deferred self-IPIs; returns how many."""
+        pending, self._delayed = self._delayed, []
+        for vector in pending:
+            self._deliver(vector)
+        return len(pending)
+
+    def _deliver(self, vector: int) -> bool:
         self._clock.charge(
             self._costs.params.self_ipi_us, World.KERNEL, EV_SELF_IPI
         )

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError, InvalidAddressError, OutOfFramesError
+from repro.errors import (
+    ConfigurationError,
+    InvalidAddressError,
+    OutOfFramesError,
+    TransientError,
+)
+from repro.faults import injector as finj
+from repro.faults.plan import FaultSite
 
 __all__ = ["FrameAllocator", "PhysicalMemory"]
 
@@ -52,6 +59,15 @@ class FrameAllocator:
         """Allocate ``count`` frames; raises :class:`OutOfFramesError`."""
         if count < 0:
             raise ValueError(f"count must be >= 0: {count}")
+        if (
+            count
+            and finj.ACTIVE is not None
+            and finj.ACTIVE.should_fire(FaultSite.FRAME_EXHAUSTION)
+        ):
+            raise TransientError(
+                f"frame allocator transiently exhausted (injected): "
+                f"{count} frames requested, reclaim in progress"
+            )
         if count > self._top:
             raise OutOfFramesError(
                 f"requested {count} frames, only {self._top} free"

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.core.calibration import PML_BUFFER_ENTRIES
 from repro.errors import PmlError
+from repro.faults import injector as finj
+from repro.faults.plan import FaultSite
 from repro.hw import vmcs as vm
 
 __all__ = ["PmlBuffer", "PmlCircuit"]
@@ -92,6 +94,14 @@ class PmlCircuit:
         self.n_guest_full_events = 0
         self.n_hyp_logged = 0
         self.n_guest_logged = 0
+        #: Entries discarded because a full event found no drain handler
+        #: (the circuit keeps logging consistently instead of trapping
+        #: mid-batch; consumers must check these counters).
+        self.n_hyp_dropped = 0
+        self.n_guest_dropped = 0
+        #: Entries lost to an injected buffer-full race (repro.faults).
+        self.n_hyp_injected_drops = 0
+        self.n_guest_injected_drops = 0
 
     # ------------------------------------------------------------------
     # configuration (mirrors VMCS field writes)
@@ -126,12 +136,13 @@ class PmlCircuit:
             return
         if self.hyp_buffer is None:
             raise PmlError("PML enabled but no PML buffer configured")
-        self.n_hyp_logged += int(len(gpfns))
-        self._fill(
-            self.hyp_buffer,
-            np.asarray(gpfns, dtype=np.uint64),
-            self._raise_hyp_full,
-        )
+        values = np.asarray(gpfns, dtype=np.uint64)
+        if finj.ACTIVE is not None:
+            kept = finj.ACTIVE.drop_entries(FaultSite.PML_ENTRY_DROP, values)
+            self.n_hyp_injected_drops += int(values.size - kept.size)
+            values = kept
+        self.n_hyp_logged += int(len(values))
+        self._fill(self.hyp_buffer, values, self._raise_hyp_full)
         self.vmcs.write(vm.F_PML_INDEX, self.hyp_buffer.index)
 
     def log_gvas(self, vpns: np.ndarray) -> None:
@@ -140,12 +151,13 @@ class PmlCircuit:
             return
         if self.guest_buffer is None:
             raise PmlError("guest PML enabled but no guest buffer configured")
-        self.n_guest_logged += int(len(vpns))
-        self._fill(
-            self.guest_buffer,
-            np.asarray(vpns, dtype=np.uint64),
-            self._raise_guest_full,
-        )
+        values = np.asarray(vpns, dtype=np.uint64)
+        if finj.ACTIVE is not None:
+            kept = finj.ACTIVE.drop_entries(FaultSite.PML_ENTRY_DROP, values)
+            self.n_guest_injected_drops += int(values.size - kept.size)
+            values = kept
+        self.n_guest_logged += int(len(values))
+        self._fill(self.guest_buffer, values, self._raise_guest_full)
         self._guest_vmcs().write(vm.F_GUEST_PML_INDEX, self.guest_buffer.index)
 
     def _fill(
@@ -161,18 +173,41 @@ class PmlCircuit:
     # full events
     # ------------------------------------------------------------------
     def _raise_hyp_full(self) -> None:
+        # Atomic batch contract: a full event mid-batch must never abort
+        # the log call (that would leave buffer/counters inconsistent for
+        # the entries already consumed).  Without a handler the hardware
+        # wraps silently; we drain, count the loss, and keep logging.
         self.n_hyp_full_events += 1
-        if self.on_hyp_full is None:
-            raise PmlError("PML buffer full with no hypervisor handler")
         assert self.hyp_buffer is not None
-        self.on_hyp_full(self.hyp_buffer.drain())
+        batch = self.hyp_buffer.drain()
+        if self.on_hyp_full is None:
+            self.n_hyp_dropped += int(len(batch))
+        else:
+            self.on_hyp_full(batch)
 
     def _raise_guest_full(self) -> None:
         self.n_guest_full_events += 1
-        if self.on_guest_full is None:
-            raise PmlError("guest PML buffer full with no guest handler")
         assert self.guest_buffer is not None
-        self.on_guest_full(self.guest_buffer.drain())
+        batch = self.guest_buffer.drain()
+        if self.on_guest_full is None:
+            self.n_guest_dropped += int(len(batch))
+        else:
+            self.on_guest_full(batch)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "n_hyp_full_events": self.n_hyp_full_events,
+            "n_guest_full_events": self.n_guest_full_events,
+            "n_hyp_logged": self.n_hyp_logged,
+            "n_guest_logged": self.n_guest_logged,
+            "n_hyp_dropped": self.n_hyp_dropped,
+            "n_guest_dropped": self.n_guest_dropped,
+            "n_hyp_injected_drops": self.n_hyp_injected_drops,
+            "n_guest_injected_drops": self.n_guest_injected_drops,
+        }
 
     # ------------------------------------------------------------------
     # explicit drains (harvest paths)

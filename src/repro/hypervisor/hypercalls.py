@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import HypercallError
+from repro.faults import injector as finj
+from repro.faults.plan import FaultSite
 
 __all__ = [
     "HC_OOH_INIT_PML",
@@ -63,6 +65,15 @@ class HypercallTable:
         self._handlers[nr] = handler
 
     def dispatch(self, nr: int, args: tuple) -> object:
+        if finj.ACTIVE is not None and finj.ACTIVE.should_fire(
+            FaultSite.HYPERCALL_TRANSIENT
+        ):
+            # The guest already paid the hypercall entry cost; the call
+            # bounces with a retryable errno, exactly like Xen's -EAGAIN.
+            raise HypercallError(
+                f"transient failure dispatching hypercall {nr:#x} (injected)",
+                code="EAGAIN",
+            )
         handler = self._handlers.get(nr)
         if handler is None:
             raise HypercallError(f"unknown hypercall {nr:#x}")

@@ -22,6 +22,7 @@ from repro.core.clock import World
 from repro.errors import ConfigurationError
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vm import Vm
+from repro.retry import is_transient
 
 __all__ = ["MigrationReport", "LiveMigration"]
 
@@ -38,6 +39,14 @@ class MigrationReport:
     downtime_us: float = 0.0
     total_us: float = 0.0
     converged: bool = False
+    #: Why pre-copy was abandoned early (``None`` when it ran to
+    #: convergence or the plain round budget).
+    aborted_reason: str | None = None
+    #: Transient harvest failures retried within the round budget.
+    round_retries: int = 0
+    #: PML-full vmexits that were never delivered during this migration;
+    #: non-zero forces a conservative full resend at stop-and-copy.
+    lost_pml_vmexits: int = 0
 
 
 class LiveMigration:
@@ -50,14 +59,20 @@ class LiveMigration:
         page_send_us: float = 3.3,  # ~4 KiB at 10 Gb/s
         max_rounds: int = 30,
         stop_threshold_pages: int = 512,
+        round_retry_limit: int = 2,
+        no_progress_limit: int = 3,
     ) -> None:
         if max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
+        if no_progress_limit < 1:
+            raise ConfigurationError("no_progress_limit must be >= 1")
         self.hypervisor = hypervisor
         self.vm = vm
         self.page_send_us = page_send_us
         self.max_rounds = max_rounds
         self.stop_threshold_pages = stop_threshold_pages
+        self.round_retry_limit = round_retry_limit
+        self.no_progress_limit = no_progress_limit
 
     def _send(self, n_pages: int) -> float:
         us = n_pages * self.page_send_us
@@ -65,6 +80,30 @@ class LiveMigration:
             us, World.HYPERVISOR, EV_MIGRATION_SEND, n_pages
         )
         return us
+
+    def _harvest(self, report: MigrationReport) -> np.ndarray:
+        """Harvest with a bounded retry budget for transient failures."""
+        attempt = 0
+        while True:
+            try:
+                return self.hypervisor.harvest_vm_dirty(self.vm)
+            except Exception as exc:
+                if not is_transient(exc) or attempt >= self.round_retry_limit:
+                    report.aborted_reason = "harvest_failed"
+                    raise
+                attempt += 1
+                report.round_retries += 1
+
+    def _final_pages(
+        self, report: MigrationReport, dirty: np.ndarray, vmexit_mark: int
+    ) -> np.ndarray:
+        """Stop-and-copy page set, widened to *all* mapped pages if any
+        PML-full vmexit was swallowed (the lost batch could hold anything)."""
+        lost = self.vm.vcpu.n_dropped_vmexits - vmexit_mark
+        if lost > 0:
+            report.lost_pml_vmexits = lost
+            return np.nonzero(self.vm.ept.hpfn >= 0)[0]
+        return dirty
 
     def migrate(
         self,
@@ -80,6 +119,7 @@ class LiveMigration:
         report = MigrationReport()
         clock = self.hypervisor.clock
         start = clock.now_us
+        vmexit_mark = self.vm.vcpu.n_dropped_vmexits
 
         self.hypervisor.enable_vm_dirty_logging(self.vm)
         try:
@@ -93,23 +133,48 @@ class LiveMigration:
             self._send(int(initial_pages.size))
             report.rounds = 1
 
+            prev_dirty: int | None = None
+            stalled = 0
+            forced = False
+            pending: np.ndarray | None = None
             while report.rounds < self.max_rounds:
-                dirty = self.hypervisor.harvest_vm_dirty(self.vm)
+                dirty = self._harvest(report)
                 if dirty.size <= self.stop_threshold_pages:
                     # Stop-and-copy: guest paused for the final transfer.
+                    dirty = self._final_pages(report, dirty, vmexit_mark)
                     report.downtime_us = self._send(int(dirty.size))
                     report.pages_per_round.append(int(dirty.size))
                     report.total_pages_sent += int(dirty.size)
                     report.converged = True
                     break
+                # No-progress bailout: a dirty set that refuses to shrink
+                # for several consecutive rounds will never converge, so
+                # stop burning rounds and go straight to stop-and-copy.
+                if prev_dirty is not None and int(dirty.size) >= prev_dirty:
+                    stalled += 1
+                    if stalled >= self.no_progress_limit:
+                        report.aborted_reason = "no_progress"
+                        # This round's harvest cleared the dirty bits, so
+                        # its pages must ride along to stop-and-copy.
+                        pending = dirty
+                        forced = True
+                        break
+                else:
+                    stalled = 0
+                prev_dirty = int(dirty.size)
                 workload_round()
                 report.pages_per_round.append(int(dirty.size))
                 report.total_pages_sent += int(dirty.size)
                 self._send(int(dirty.size))
                 report.rounds += 1
             else:
+                forced = True
+            if forced:
                 # Convergence failure: forced stop-and-copy of what's left.
-                dirty = self.hypervisor.harvest_vm_dirty(self.vm)
+                dirty = self._harvest(report)
+                if pending is not None:
+                    dirty = np.union1d(pending, dirty)
+                dirty = self._final_pages(report, dirty, vmexit_mark)
                 report.downtime_us = self._send(int(dirty.size))
                 report.pages_per_round.append(int(dirty.size))
                 report.total_pages_sent += int(dirty.size)

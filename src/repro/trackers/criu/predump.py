@@ -20,6 +20,7 @@ from repro.core.tracking import Technique, make_tracker
 from repro.errors import CheckpointError
 from repro.guest.kernel import GuestKernel
 from repro.guest.process import Process
+from repro.retry import Retrier
 from repro.trackers.criu.images import CheckpointImage
 
 __all__ = ["PredumpReport", "iterative_predump"]
@@ -33,6 +34,8 @@ class PredumpReport:
     downtime_us: float = 0.0
     total_us: float = 0.0
     converged: bool = False
+    #: Transient collect failures retried with backoff.
+    retries: int = 0
 
 
 def iterative_predump(
@@ -67,6 +70,13 @@ def iterative_predump(
         image.add_round(vpns, tokens)
 
     tracker = make_tracker(technique, kernel, process)
+    # A pre-dump round that hits a transient tracking failure retries the
+    # collection (CRIU restarts the page scan) rather than losing a round.
+    retrier = Retrier(clock, World.TRACKER)
+
+    def collect() -> np.ndarray:
+        return retrier.call(tracker.collect)
+
     tracker.start()
     try:
         mapped = process.space.mapped_vpns()
@@ -76,7 +86,7 @@ def iterative_predump(
         dirty = np.empty(0, dtype=np.int64)
         while report.rounds < max_rounds:
             run_round()
-            dirty = tracker.collect()
+            dirty = collect()
             dirty = dirty[process.space.pt.present_mask(dirty)]
             if dirty.size <= threshold_pages:
                 report.converged = True
@@ -88,7 +98,7 @@ def iterative_predump(
         t0 = clock.now_us
         kernel.stop_process(process)
         if not report.converged:
-            dirty = tracker.collect()
+            dirty = collect()
             dirty = dirty[process.space.pt.present_mask(dirty)]
         if dirty.size:
             write(dirty)
@@ -97,5 +107,6 @@ def iterative_predump(
         report.downtime_us = clock.now_us - t0
     finally:
         tracker.stop()
+    report.retries = retrier.n_retries
     report.total_us = clock.now_us - t_start
     return image, report

@@ -1,0 +1,85 @@
+"""Completeness auditing: losses must be recovered or surfaced — a silent
+loss is the one outcome the auditor never lets pass."""
+
+import numpy as np
+import pytest
+
+from repro.core.ooh import OohLib, OohModule
+from repro.core.techniques.epml import EpmlTracker
+from repro.core.techniques.spml import SpmlTracker
+from repro.core.tracking import Technique, make_tracker
+from repro.faults.auditor import CompletenessAuditor, CompletenessViolation
+
+
+def _spawn(stack, n_pages=1024):
+    proc = stack.kernel.spawn("app", n_pages=n_pages)
+    proc.space.add_vma(n_pages)
+    stack.kernel.access(proc, np.arange(n_pages), True)
+    return proc
+
+
+def _workload(stack, proc, auditor, rounds=4, n_pages=1024):
+    rng = np.random.default_rng(11)
+    for _ in range(rounds):
+        stack.kernel.access(
+            proc, rng.integers(0, n_pages, size=n_pages // 4), True
+        )
+        auditor.collect()
+
+
+def test_clean_run_is_complete(stack):
+    proc = _spawn(stack)
+    tracker = make_tracker(Technique.EPML, stack.kernel, proc)
+    auditor = CompletenessAuditor(stack.kernel, proc, tracker)
+    auditor.start()
+    _workload(stack, proc, auditor)
+    report = auditor.stop()
+    assert report.capture_rate == 1.0 and report.n_missed == 0
+    assert not report.silent_loss
+    assert report.total_surfaced == 0
+
+
+def test_undersized_ring_loss_is_loud_not_silent(stack):
+    proc = _spawn(stack)
+    lib = OohLib(OohModule(stack.kernel, ring_capacity=64))
+    tracker = SpmlTracker(stack.kernel, proc, ooh_lib=lib)  # resync off
+    auditor = CompletenessAuditor(stack.kernel, proc, tracker)
+    auditor.start()
+    _workload(stack, proc, auditor)
+    report = auditor.stop()  # must NOT raise: the drop counter moved
+    assert report.n_missed > 0 and report.capture_rate < 1.0
+    assert report.surfaced["tracker_dropped"] > 0
+    assert not report.silent_loss
+
+
+class _SilentlyLossyTracker(EpmlTracker):
+    """A buggy tracker: discards half of each collection, counters clean."""
+
+    def _do_collect(self):
+        out = super()._do_collect()
+        return out[::2]
+
+
+def test_silent_loss_raises(stack):
+    proc = _spawn(stack)
+    tracker = _SilentlyLossyTracker(stack.kernel, proc)
+    auditor = CompletenessAuditor(stack.kernel, proc, tracker)
+    auditor.start()
+    _workload(stack, proc, auditor)
+    with pytest.raises(CompletenessViolation):
+        auditor.stop()
+
+
+def test_silent_loss_report_mode(stack):
+    proc = _spawn(stack)
+    tracker = _SilentlyLossyTracker(stack.kernel, proc)
+    auditor = CompletenessAuditor(
+        stack.kernel, proc, tracker, raise_on_silent_loss=False
+    )
+    auditor.start()
+    _workload(stack, proc, auditor)
+    report = auditor.stop()
+    assert report.silent_loss
+    assert report.n_missed > 0
+    assert report.missed_vpns.size == report.n_missed
+    assert report.total_surfaced == 0

@@ -1,0 +1,52 @@
+"""Zero-overhead contract: with no plan active — or a rate-0.0 plan —
+simulated results are bit-identical to a run without the fault subsystem
+in the loop (same clocks, same event stream, same collected pages)."""
+
+import numpy as np
+
+from repro.core.tracking import Technique, make_tracker
+from repro.experiments.faultmatrix import chaos_plan
+from repro.experiments.harness import build_stack
+
+N_PAGES = 512
+ROUNDS = 4
+
+
+def _run(technique, plan=None):
+    stack = build_stack(vm_mb=64)
+    proc = stack.kernel.spawn("app", n_pages=N_PAGES)
+    proc.space.add_vma(N_PAGES)
+    stack.kernel.access(proc, np.arange(N_PAGES), True)
+    tracker = make_tracker(technique, stack.kernel, proc)
+    rng = np.random.default_rng(21)
+
+    def body():
+        tracker.start()
+        collected = []
+        for _ in range(ROUNDS):
+            stack.kernel.access(
+                proc, rng.integers(0, N_PAGES, size=N_PAGES // 4), True
+            )
+            collected.append(tracker.collect())
+        tracker.stop()
+        return collected
+
+    if plan is None:
+        collected = body()
+    else:
+        with plan.active():
+            collected = body()
+    return stack.clock.snapshot(), collected
+
+
+def test_rate_zero_plan_is_bit_identical():
+    for technique in (Technique.SPML, Technique.EPML):
+        base_snap, base_out = _run(technique)
+        plan_snap, plan_out = _run(technique, chaos_plan(0.0))
+        assert plan_snap.now_us == base_snap.now_us
+        assert plan_snap.world_us == base_snap.world_us
+        assert plan_snap.event_us == base_snap.event_us
+        assert plan_snap.event_count == base_snap.event_count
+        assert len(base_out) == len(plan_out)
+        for a, b in zip(base_out, plan_out):
+            assert np.array_equal(a, b)

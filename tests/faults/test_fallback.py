@@ -1,0 +1,114 @@
+"""Graceful degradation: the fallback chain falls forward through
+techniques and keeps reporting conservatively while a mechanism is down."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import Technique, make_tracker
+from repro.core.techniques.fallback import FallbackTracker
+from repro.errors import TrackingError
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+
+HC_DOWN = FaultPlan([FaultSpec(FaultSite.HYPERCALL_TRANSIENT, 1.0)])
+
+
+def _spawn(stack, n_pages=256):
+    proc = stack.kernel.spawn("app", n_pages=n_pages)
+    proc.space.add_vma(n_pages)
+    stack.kernel.access(proc, np.arange(n_pages), True)
+    return proc
+
+
+def test_registered_and_validated(stack):
+    proc = _spawn(stack)
+    tracker = make_tracker(Technique.FALLBACK, stack.kernel, proc)
+    assert isinstance(tracker, FallbackTracker)
+    assert tracker.current_technique is Technique.EPML  # default chain head
+    with pytest.raises(TrackingError):
+        FallbackTracker(stack.kernel, proc, chain=())
+    with pytest.raises(TrackingError):
+        FallbackTracker(stack.kernel, proc, failure_threshold=0)
+
+
+def test_start_falls_forward_when_hypercalls_are_down(stack):
+    proc = _spawn(stack)
+    tracker = FallbackTracker(
+        stack.kernel, proc, chain=(Technique.SPML, Technique.PROC)
+    )
+    # SPML attach needs hypercalls; with them permanently bouncing the
+    # retrier exhausts and the chain degrades to /proc at start.
+    with HC_DOWN.active():
+        tracker.start()
+    assert tracker.current_technique is Technique.PROC
+    assert tracker.n_fallbacks == 1
+    stack.kernel.access(proc, np.arange(32), True)
+    assert set(tracker.collect().tolist()) == set(range(32))
+    tracker.stop()
+
+
+def test_collect_failures_degrade_after_threshold(stack):
+    proc = _spawn(stack)
+    tracker = FallbackTracker(
+        stack.kernel, proc,
+        chain=(Technique.SPML, Technique.PROC),
+        failure_threshold=2,
+    )
+    tracker.start()  # SPML attaches fine while hypercalls work
+    assert tracker.current_technique is Technique.SPML
+    stack.kernel.access(proc, np.arange(64), True)
+    with HC_DOWN.active():
+        # Failure 1: conservative interval (every mapped page) — the
+        # failed interval's writes are still covered.
+        got1 = tracker.collect()
+        assert set(range(64)) <= set(got1.tolist())
+        assert tracker.current_technique is Technique.SPML
+        # Failure 2 hits the threshold: fall forward to /proc.  The
+        # orderly SPML detach also fails, exercising force_detach.
+        got2 = tracker.collect()
+        assert set(got2.tolist()) == set(proc.space.pt.mapped_vpns().tolist())
+    assert tracker.current_technique is Technique.PROC
+    assert tracker.n_fallbacks == 1
+    old, new, reason = tracker.fallback_history[0]
+    assert (old, new) == ("spml", "proc") and "collect failures" in reason
+    # The replacement technique works without hypercalls.
+    stack.kernel.access(proc, [3, 5], True)
+    assert {3, 5} <= set(tracker.collect().tolist())
+    tracker.stop()
+
+
+def test_single_blip_does_not_degrade(stack):
+    proc = _spawn(stack)
+    tracker = FallbackTracker(
+        stack.kernel, proc,
+        chain=(Technique.SPML, Technique.PROC),
+        failure_threshold=2,
+    )
+    tracker.start()
+    for _ in range(3):
+        stack.kernel.access(proc, np.arange(16), True)
+        with HC_DOWN.active():
+            tracker.collect()  # one failure...
+        tracker.collect()  # ...then a success resets the streak
+    assert tracker.current_technique is Technique.SPML
+    assert tracker.n_fallbacks == 0
+    tracker.stop()
+
+
+def test_exhausted_chain_restarts_last_entry(stack):
+    proc = _spawn(stack)
+    tracker = FallbackTracker(
+        stack.kernel, proc, chain=(Technique.PROC,), failure_threshold=1
+    )
+    tracker.start()
+
+    from repro.errors import TransientError
+
+    inner = tracker._inner
+    inner._do_collect = lambda: (_ for _ in ()).throw(TransientError("x"))
+    got = tracker.collect()  # fails -> conservative + restart of PROC
+    assert got.size == proc.space.pt.mapped_vpns().size
+    assert tracker.current_technique is Technique.PROC
+    assert tracker.n_fallbacks == 0  # nowhere to go
+    stack.kernel.access(proc, [7], True)
+    assert 7 in set(tracker.collect().tolist())
+    tracker.stop()

@@ -1,0 +1,115 @@
+"""Fault plans: validation, determinism, firing caps, activation scoping."""
+
+import numpy as np
+import pytest
+
+from repro.faults import injector as finj
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec, site_seed
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(FaultSite.RING_OVERFLOW, 1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultSite.RING_OVERFLOW, -0.1)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultSite.RING_OVERFLOW, 0.5, max_fires=-1)
+    with pytest.raises(ValueError):
+        FaultSpec(FaultSite.RING_OVERFLOW, 0.5, skip_first=-1)
+
+
+def test_duplicate_site_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan([
+            FaultSpec(FaultSite.RING_OVERFLOW, 0.1),
+            FaultSpec(FaultSite.RING_OVERFLOW, 0.2),
+        ])
+
+
+def test_site_seed_is_stable_and_distinct():
+    seeds = {site_seed(1234, s) for s in FaultSite}
+    assert len(seeds) == len(list(FaultSite))  # independent streams
+    assert site_seed(1234, FaultSite.RING_OVERFLOW) == site_seed(
+        1234, FaultSite.RING_OVERFLOW
+    )
+
+
+def test_deterministic_replay():
+    site = FaultSite.HYPERCALL_TRANSIENT
+    plan = FaultPlan([FaultSpec(site, 0.3)], seed=7)
+    seq1 = [plan.build().should_fire(site) for _ in range(1)]  # warm check
+    inj1, inj2 = plan.build(), plan.build()
+    seq1 = [inj1.should_fire(site) for _ in range(200)]
+    seq2 = [inj2.should_fire(site) for _ in range(200)]
+    assert seq1 == seq2
+    assert any(seq1) and not all(seq1)
+
+
+def test_site_streams_independent_of_other_sites():
+    """A site's fault sequence must not shift when other sites join the
+    plan (each site owns its own seeded stream)."""
+    site = FaultSite.PML_ENTRY_DROP
+    solo = FaultPlan([FaultSpec(site, 0.4)], seed=9).build()
+    combo = FaultPlan(
+        [FaultSpec(site, 0.4), FaultSpec(FaultSite.RING_OVERFLOW, 0.4)],
+        seed=9,
+    ).build()
+    a = [solo.should_fire(site) for _ in range(100)]
+    b = [combo.should_fire(site) for _ in range(100)]
+    assert a == b
+
+
+def test_skip_first_and_max_fires():
+    site = FaultSite.LOST_SELF_IPI
+    plan = FaultPlan([FaultSpec(site, 1.0, max_fires=3, skip_first=2)])
+    inj = plan.build()
+    fires = [inj.should_fire(site) for _ in range(8)]
+    assert fires == [False, False, True, True, True, False, False, False]
+    assert inj.fires(site) == 3
+    assert inj.total_fires() == 3
+
+
+def test_drop_count_capped_by_max_fires():
+    site = FaultSite.RING_OVERFLOW
+    inj = FaultPlan([FaultSpec(site, 1.0, max_fires=4)]).build()
+    assert inj.drop_count(site, 10) == 4
+    assert inj.drop_count(site, 10) == 0  # budget spent
+
+
+def test_drop_entries_removes_deterministic_subset():
+    site = FaultSite.PML_ENTRY_DROP
+    values = np.arange(32, dtype=np.uint64)
+    plan = FaultPlan([FaultSpec(site, 0.5)], seed=3)
+    kept1 = plan.build().drop_entries(site, values)
+    kept2 = plan.build().drop_entries(site, values)
+    assert np.array_equal(kept1, kept2)
+    assert 0 < kept1.size < values.size
+    assert set(kept1.tolist()) <= set(values.tolist())
+
+
+def test_unarmed_site_never_fires():
+    inj = FaultPlan([FaultSpec(FaultSite.RING_OVERFLOW, 1.0)]).build()
+    assert not inj.should_fire(FaultSite.VMEXIT_DROP)
+    assert inj.fires(FaultSite.VMEXIT_DROP) == 0
+
+
+def test_activation_nesting_restores_previous():
+    assert finj.ACTIVE is None
+    p1 = FaultPlan([FaultSpec(FaultSite.RING_OVERFLOW, 0.1)])
+    p2 = FaultPlan([FaultSpec(FaultSite.VMEXIT_DROP, 0.1)])
+    with p1.active() as a:
+        assert finj.ACTIVE is a
+        with p2.active() as b:
+            assert finj.ACTIVE is b
+        assert finj.ACTIVE is a
+    assert finj.ACTIVE is None
+
+
+def test_stats_shape():
+    site = FaultSite.FRAME_EXHAUSTION
+    inj = FaultPlan([FaultSpec(site, 1.0, max_fires=1)]).build()
+    inj.should_fire(site)
+    inj.should_fire(site)
+    assert inj.stats() == {
+        "frame_exhaustion": {"opportunities": 2, "fires": 1}
+    }

@@ -1,0 +1,84 @@
+"""Shared retry policy: classification, backoff charging, exhaustion."""
+
+import pytest
+
+from repro.core.clock import SimClock, World
+from repro.errors import HypercallError, TransientError
+from repro.retry import (
+    DEFAULT_RETRY_POLICY,
+    EV_RETRY_BACKOFF,
+    Retrier,
+    RetryPolicy,
+    is_transient,
+)
+
+
+def test_hypercall_error_code_attribute():
+    e = HypercallError("boom")
+    assert e.code == "EINVAL" and not e.transient
+    assert HypercallError("busy", code="EBUSY").transient
+
+
+def test_is_transient_classification():
+    assert is_transient(TransientError("x"))
+    assert is_transient(HypercallError("x", code="EAGAIN"))
+    assert not is_transient(HypercallError("x"))
+    assert not is_transient(ValueError("x"))
+
+
+def test_policy_validation_and_cap():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    p = RetryPolicy(max_attempts=20, base_backoff_us=10.0, multiplier=10.0,
+                    max_backoff_us=500.0)
+    assert p.backoff_us(1) == 10.0
+    assert p.backoff_us(2) == 100.0
+    assert p.backoff_us(5) == 500.0  # capped
+
+
+def test_retrier_succeeds_and_charges_simulated_backoff():
+    clock = SimClock()
+    r = Retrier(clock, World.KERNEL)
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise TransientError("flaky")
+        return 42
+
+    assert r.call(flaky) == 42
+    assert r.n_retries == 2 and r.n_exhausted == 0
+    expected = (
+        DEFAULT_RETRY_POLICY.backoff_us(1) + DEFAULT_RETRY_POLICY.backoff_us(2)
+    )
+    assert clock.event_us(EV_RETRY_BACKOFF) == pytest.approx(expected)
+    assert clock.world_us(World.KERNEL) == pytest.approx(expected)
+
+
+def test_retrier_exhausts_and_reraises():
+    clock = SimClock()
+    r = Retrier(clock)
+
+    def always():
+        raise TransientError("always")
+
+    with pytest.raises(TransientError):
+        r.call(always)
+    assert r.n_exhausted == 1
+    assert r.n_retries == DEFAULT_RETRY_POLICY.max_attempts - 1
+
+
+def test_permanent_error_not_retried():
+    clock = SimClock()
+    r = Retrier(clock)
+
+    def perm():
+        raise ValueError("perm")
+
+    with pytest.raises(ValueError):
+        r.call(perm)
+    assert r.n_retries == 0
+    assert clock.now_us == 0.0

@@ -58,7 +58,9 @@ def env():
     host = PhysicalMemory(1024)
     ept = Ept(1024)
     pml = PmlCircuit(vm.Vmcs(), capacity=512)
-    mmu = Mmu(ept, host, pml)
+    # Pin the fast path on: the suite must pass under REPRO_FUSED_MMU=0
+    # (CI differential leg), and these tests exercise the fused pipeline.
+    mmu = Mmu(ept, host, pml, fused=True)
     pt = PageTable(256)
     tlb = Tlb(256)
     handlers = Handlers(pt, ept, host)
@@ -189,6 +191,7 @@ def test_fused_toggle_constructor_and_env(monkeypatch):
     host = PhysicalMemory(64)
     ept = Ept(64)
     pml = PmlCircuit(vm.Vmcs(), capacity=512)
+    monkeypatch.delenv("REPRO_FUSED_MMU", raising=False)
     assert Mmu(ept, host, pml).fused is True
     assert Mmu(ept, host, pml, fused=False).fused is False
     monkeypatch.setenv("REPRO_FUSED_MMU", "0")

@@ -105,13 +105,19 @@ def test_enabled_without_buffer_raises():
         c.log_gpas(np.array([1]))
 
 
-def test_full_without_handler_raises():
+def test_full_without_handler_drops_atomically():
+    """A full event with no handler must not abort the batch mid-way:
+    the buffer wraps, the loss is counted, and later entries still land."""
     v = vm.Vmcs()
     c = PmlCircuit(v, capacity=2)
     c.configure_hyp_buffer()
     v.write(vm.F_CTRL_ENABLE_PML, 1)
-    with pytest.raises(PmlError):
-        c.log_gpas(np.arange(3))
+    c.log_gpas(np.arange(3))
+    assert c.n_hyp_full_events == 1
+    assert c.n_hyp_dropped == 2
+    assert c.n_hyp_logged == 3
+    assert c.hyp_buffer is not None and c.hyp_buffer.n_logged == 1
+    assert c.stats()["n_hyp_dropped"] == 2
 
 
 def test_no_loss_across_many_batches():
