@@ -10,7 +10,9 @@ pass that keeps the full non-quick sweep tractable:
   cold index per lookup;
 * ``runner all --quick`` end to end, optimized (fused + memo-cache +
   ``--jobs 4``) vs the pre-optimization configuration
-  (``REPRO_FUSED_MMU=0 REPRO_EXPERIMENT_CACHE=0``, serial).
+  (``REPRO_FUSED_MMU=0 REPRO_EXPERIMENT_CACHE=0``, serial);
+* the observability tax: the same fused hot loop with an active
+  ``TraceSession`` vs the guard-only disabled path.
 
 Simulated costs and results are bit-identical across all configurations
 (see tests/integration/test_differential_mmu.py); only host wall-clock
@@ -29,6 +31,7 @@ from conftest import QUICK
 
 from repro.hw import vmcs
 from repro.hw.ept import Ept
+from repro.obs import trace as otr
 from repro.hw.memory import PhysicalMemory
 from repro.hw.mmu import Mmu
 from repro.hw.pagetable import PTE_SOFT_DIRTY, PTE_UFD_WP, PTE_WRITABLE, PageTable
@@ -129,6 +132,38 @@ def test_reverse_lookup_index_reuse(benchmark):
     print(f"\nreverse_lookup x{len(queries)}: warm index {warm_s * 1e3:.2f}ms, "
           f"cold index {cold_s * 1e3:.2f}ms, speedup {speedup:.1f}x")
     assert speedup > 1.0
+
+
+def test_tracing_overhead(benchmark):
+    """Observability tax on the hot MMU loop: an active ``detail=False``
+    session (the long-run/CI configuration) vs tracing off.  Disabled
+    tracing is a guard-only check; enabled tracing emits one WRITE event
+    per batch, so the overhead must stay a small constant factor."""
+    off_s = benchmark.pedantic(_drive, args=(True,), rounds=3, iterations=1)
+    session = otr.TraceSession(
+        capacity=otr.ENV_SESSION_CAPACITY, detail=False
+    )
+    on_runs = []
+    with session.active():
+        for _ in range(3):
+            on_runs.append(_drive(True))
+    # Best-of-3 on both sides: the QUICK loop is milliseconds, so single
+    # rounds are noise-dominated.
+    off_s = min(off_s, _drive(True), _drive(True))
+    on_s = min(on_runs)
+    overhead = on_s / off_s
+    benchmark.extra_info.update(
+        tracing_off_s=off_s, tracing_on_s=on_s, overhead=overhead,
+        events_emitted=session.n_emitted,
+    )
+    print(f"\nMmu.access tracing overhead: off {off_s:.3f}s, "
+          f"on {on_s:.3f}s ({session.n_emitted} events), "
+          f"{overhead:.2f}x")
+    assert session.n_emitted > 0
+    assert session.metrics.counter("mmu.writes") >= TARGET_ACCESSES
+    # Generous bound: the tax is per-batch, not per-access, so even noisy
+    # CI machines should land nowhere near it.
+    assert overhead < 2.0
 
 
 def _runner_wallclock(extra_args: list[str], env_overrides: dict) -> float:

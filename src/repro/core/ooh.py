@@ -54,6 +54,8 @@ from repro.hw import vmcs as vmcsf
 from repro.hw.interrupts import VECTOR_OOH_PML_FULL
 from repro.hw.pagetable import PTE_DIRTY
 from repro.hypervisor import hypercalls as hc
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 from repro.retry import Retrier
 
 __all__ = ["OohKind", "OohModule", "OohLib", "OohAttachment"]
@@ -488,6 +490,14 @@ class OohModule:
         mapped = self._conservative_resync(att)
         stats.n_resyncs += 1
         stats.resynced = True
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(
+                EventKind.RESYNC,
+                technique=att.kind.value,
+                lost=int(lost),
+                n_mapped=int(mapped.size),
+            )
+            otr.ACTIVE.metrics.inc("resync.conservative")
         return np.union1d(vpns, mapped).astype(np.int64)
 
     def _conservative_resync(self, att: OohAttachment) -> np.ndarray:

@@ -21,6 +21,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.faults import injector as finj
 from repro.faults.plan import FaultSite
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["RingBuffer"]
 
@@ -68,12 +70,14 @@ class RingBuffer:
             self._head = 0
             self._size = self._capacity
             self.total_dropped += dropped
+            self._trace_drop(dropped, "organic")
             return dropped + self._injected_overflow()
         dropped = max(0, n - self.free)
         if dropped:
             self._head = (self._head + dropped) % self._capacity
             self._size -= dropped
             self.total_dropped += dropped
+            self._trace_drop(dropped, "organic")
         tail = (self._head + self._size) % self._capacity
         first = min(n, self._capacity - tail)
         self._buf[tail:tail + first] = arr[:first]
@@ -95,7 +99,14 @@ class RingBuffer:
             self._head = (self._head + k) % self._capacity
             self._size -= k
             self.total_dropped += k
+            self._trace_drop(k, "injected")
         return k
+
+    @staticmethod
+    def _trace_drop(n: int, cause: str) -> None:
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(EventKind.RING_DROP, n=int(n), cause=cause)
+            otr.ACTIVE.metrics.inc(f"ring.dropped.{cause}", int(n))
 
     def pop_all(self) -> np.ndarray:
         """Drain the buffer, returning entries in FIFO order."""

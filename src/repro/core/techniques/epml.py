@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.core.ooh import OohAttachment, OohKind, OohLib, OohModule
 from repro.core.tracking import DirtyPageTracker, Technique, register_technique
+from repro.obs import trace as otr
+from repro.obs.events import emit_collect_stats
 
 __all__ = ["EpmlTracker"]
 
@@ -40,7 +42,12 @@ class EpmlTracker(DirtyPageTracker):
 
     def _do_collect(self) -> np.ndarray:
         assert self._att is not None
-        return self._lib.fetch(self._att)
+        out = self._lib.fetch(self._att)
+        if otr.ACTIVE is not None:
+            emit_collect_stats(
+                otr.ACTIVE, self.technique.value, self._att.last_stats
+            )
+        return out
 
     def _do_stop(self) -> None:
         assert self._att is not None

@@ -35,6 +35,8 @@ from repro.errors import (
     TrackingError,
     TransientError,
 )
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 from repro.retry import is_transient
 
 __all__ = ["FallbackTracker"]
@@ -117,9 +119,14 @@ class FallbackTracker(DirtyPageTracker):
         old = self.chain[self._chain_pos]
         self._chain_pos += 1
         self.n_fallbacks += 1
-        self.fallback_history.append(
-            (old.value, self.chain[self._chain_pos].value, reason)
-        )
+        new = self.chain[self._chain_pos]
+        self.fallback_history.append((old.value, new.value, reason))
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(
+                EventKind.FALLBACK_TRANSITION,
+                **{"from": old.value, "to": new.value, "reason": reason},
+            )
+            otr.ACTIVE.metrics.inc("fallback.transitions")
         self._consecutive_failures = 0
         return True
 

@@ -23,6 +23,8 @@ import numpy as np
 from repro.errors import TrackingError
 from repro.guest.kernel import GuestKernel
 from repro.guest.process import Process
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["Technique", "DirtyPageTracker", "make_tracker", "register_technique"]
 
@@ -65,7 +67,18 @@ class DirtyPageTracker(abc.ABC):
             raise TrackingError("collect before start")
         self.n_collections += 1
         out = self._do_collect()
-        return np.asarray(out, dtype=np.int64)
+        out = np.asarray(out, dtype=np.int64)
+        if otr.ACTIVE is not None:
+            s = otr.ACTIVE
+            fields = {"technique": self.technique.value, "n_vpns": int(out.size)}
+            if s.detail:
+                # The reported set itself, so trace invariants can check
+                # it against the WRITE events that preceded this collect.
+                fields["vpns"] = [int(x) for x in np.sort(out)]
+            s.emit(EventKind.COLLECT, **fields)
+            s.metrics.inc(f"collect.{self.technique.value}")
+            s.metrics.observe("collect.n_vpns", int(out.size))
+        return out
 
     def stop(self) -> None:
         if not self._started:

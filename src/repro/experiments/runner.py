@@ -33,6 +33,7 @@ from repro.experiments.harness import (
     run_microbench,
 )
 from repro.experiments.tables import fmt_ms, fmt_pct, render_table
+from repro.obs import trace as otr
 from repro.trackers.boehm import GcParams
 
 __all__ = ["ExperimentOutput", "EXPERIMENTS", "run_experiment", "main"]
@@ -478,17 +479,48 @@ def main(argv: list[str] | None = None) -> int:
                         help="run experiment families in N worker processes "
                              "(VM stacks are independent; output order is "
                              "unchanged)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect observability metrics during the runs "
+                             "and print the registry afterwards (forces "
+                             "--jobs 1: counters live in this process)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="with --metrics: also write the event trace "
+                             "as canonical JSONL to PATH")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.trace_out and not args.metrics:
+        parser.error("--trace-out requires --metrics")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.jobs > 1 and len(names) > 1:
+    session: otr.TraceSession | None = None
+    if args.metrics:
+        # Worker processes would accumulate into their own registries and
+        # throw them away, so metrics runs are serial by construction.
+        # detail=False keeps per-page payloads out of long sweeps.
+        session = otr.TraceSession(
+            capacity=otr.ENV_SESSION_CAPACITY, detail=False
+        )
+    if args.jobs > 1 and len(names) > 1 and session is None:
         texts = _run_parallel(names, args.quick, args.jobs)
+    elif session is not None:
+        # Nesting-safe activation: a REPRO_TRACE env session (or a
+        # caller's) is restored afterwards, not clobbered.
+        with session.active():
+            texts = {n: run_experiment(n, quick=args.quick).text for n in names}
     else:
         texts = {n: run_experiment(n, quick=args.quick).text for n in names}
     for name in names:  # canonical order regardless of worker completion
         print(texts[name])
         print()
+    if session is not None:
+        print(session.metrics.render("Observability metrics"))
+        if args.trace_out:
+            from pathlib import Path
+
+            session.trace.write_jsonl(Path(args.trace_out))
+            print(f"wrote {args.trace_out} "
+                  f"({len(session.trace.events)} events, "
+                  f"{session.trace.n_dropped} dropped)")
     return 0
 
 

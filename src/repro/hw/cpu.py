@@ -36,6 +36,8 @@ from repro.hw import vmcs as vm
 from repro.hw.ept import Ept
 from repro.hw.interrupts import InterruptController
 from repro.hw.pml import PmlCircuit
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["CpuMode", "ExitReason", "Vcpu"]
 
@@ -100,6 +102,12 @@ class Vcpu:
         if handler is None:
             raise VmcsError(f"no handler installed for vmexit {reason}")
         self.n_vmexits += 1
+        if otr.ACTIVE is not None:
+            # Emitted exactly when the metric counter moves, so "vmexit
+            # events in the trace == vmexit counts in the metrics" is a
+            # checkable invariant, not a coincidence.
+            otr.ACTIVE.emit(EventKind.VMEXIT, reason=reason.value)
+            otr.ACTIVE.metrics.inc(f"vmexit.{reason.value}")
         self.clock.charge(
             self.costs.params.vmexit_roundtrip_us,
             World.HYPERVISOR,

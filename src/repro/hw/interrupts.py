@@ -23,6 +23,8 @@ from repro.core.costs import EV_SELF_IPI, CostModel
 from repro.errors import ConfigurationError
 from repro.faults import injector as finj
 from repro.faults.plan import FaultSite
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["VECTOR_OOH_PML_FULL", "InterruptController"]
 
@@ -63,10 +65,20 @@ class InterruptController:
         if finj.ACTIVE is not None:
             if finj.ACTIVE.should_fire(FaultSite.LOST_SELF_IPI):
                 self.n_lost += 1
+                if otr.ACTIVE is not None:
+                    otr.ACTIVE.emit(
+                        EventKind.SELF_IPI, vector=vector, outcome="lost"
+                    )
+                    otr.ACTIVE.metrics.inc("self_ipi.lost")
                 return False
             if finj.ACTIVE.should_fire(FaultSite.DELAYED_SELF_IPI):
                 self.n_delayed += 1
                 self._delayed.append(vector)
+                if otr.ACTIVE is not None:
+                    otr.ACTIVE.emit(
+                        EventKind.SELF_IPI, vector=vector, outcome="delayed"
+                    )
+                    otr.ACTIVE.metrics.inc("self_ipi.delayed")
                 return False
         if self._delayed:
             self.flush_delayed()
@@ -84,6 +96,10 @@ class InterruptController:
             self._costs.params.self_ipi_us, World.KERNEL, EV_SELF_IPI
         )
         handler = self._handlers.get(vector)
+        if otr.ACTIVE is not None:
+            outcome = "delivered" if handler is not None else "unhandled"
+            otr.ACTIVE.emit(EventKind.SELF_IPI, vector=vector, outcome=outcome)
+            otr.ACTIVE.metrics.inc(f"self_ipi.{outcome}")
         if handler is None:
             return False
         handler(vector)

@@ -48,6 +48,8 @@ from repro.hw.pagetable import (
 )
 from repro.hw.pml import PmlCircuit
 from repro.hw.tlb import Tlb
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["FaultHandlers", "MmuResult", "Mmu"]
 
@@ -140,6 +142,18 @@ class Mmu:
         res = MmuResult(n_accesses=int(v.size), n_writes=int(w.sum()))
         if v.size == 0:
             return res
+        if otr.ACTIVE is not None and res.n_writes:
+            # Emitted before dispatch so fast-path, fused and multipass
+            # batches trace identically; the written-VPN set is the
+            # ground truth the trace-invariant tests check collects
+            # against (dirty reported ⊆ pages with a preceding write).
+            s = otr.ACTIVE
+            fields = {"n_writes": res.n_writes, "n_accesses": res.n_accesses}
+            if s.detail:
+                fields["vpns"] = [int(x) for x in np.unique(v[w])]
+            s.emit(EventKind.WRITE, **fields)
+            s.metrics.inc("mmu.write_batches")
+            s.metrics.inc("mmu.writes", res.n_writes)
         if not self.fused:
             return self._access_multipass(pt, tlb, v, w, handlers, res)
         if self._try_fast_path(pt, tlb, v, w):

@@ -31,6 +31,8 @@ from repro.errors import PmlError
 from repro.faults import injector as finj
 from repro.faults.plan import FaultSite
 from repro.hw import vmcs as vm
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["PmlBuffer", "PmlCircuit"]
 
@@ -139,7 +141,13 @@ class PmlCircuit:
         values = np.asarray(gpfns, dtype=np.uint64)
         if finj.ACTIVE is not None:
             kept = finj.ACTIVE.drop_entries(FaultSite.PML_ENTRY_DROP, values)
-            self.n_hyp_injected_drops += int(values.size - kept.size)
+            dropped = int(values.size - kept.size)
+            self.n_hyp_injected_drops += dropped
+            if dropped and otr.ACTIVE is not None:
+                otr.ACTIVE.emit(
+                    EventKind.PML_DROP, level="hyp", cause="injected", n=dropped
+                )
+                otr.ACTIVE.metrics.inc("pml.hyp.injected_drops", dropped)
             values = kept
         self.n_hyp_logged += int(len(values))
         self._fill(self.hyp_buffer, values, self._raise_hyp_full)
@@ -154,7 +162,13 @@ class PmlCircuit:
         values = np.asarray(vpns, dtype=np.uint64)
         if finj.ACTIVE is not None:
             kept = finj.ACTIVE.drop_entries(FaultSite.PML_ENTRY_DROP, values)
-            self.n_guest_injected_drops += int(values.size - kept.size)
+            dropped = int(values.size - kept.size)
+            self.n_guest_injected_drops += dropped
+            if dropped and otr.ACTIVE is not None:
+                otr.ACTIVE.emit(
+                    EventKind.PML_DROP, level="guest", cause="injected", n=dropped
+                )
+                otr.ACTIVE.metrics.inc("pml.guest.injected_drops", dropped)
             values = kept
         self.n_guest_logged += int(len(values))
         self._fill(self.guest_buffer, values, self._raise_guest_full)
@@ -179,18 +193,56 @@ class PmlCircuit:
         # wraps silently; we drain, count the loss, and keep logging.
         self.n_hyp_full_events += 1
         assert self.hyp_buffer is not None
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(
+                EventKind.PML_FULL,
+                level="hyp",
+                occupancy=self.hyp_buffer.n_logged,
+                handled=self.on_hyp_full is not None,
+            )
+            otr.ACTIVE.metrics.inc("pml.hyp.full_events")
+            otr.ACTIVE.metrics.observe(
+                "pml.occupancy_at_flush", self.hyp_buffer.n_logged
+            )
         batch = self.hyp_buffer.drain()
         if self.on_hyp_full is None:
             self.n_hyp_dropped += int(len(batch))
+            if otr.ACTIVE is not None and len(batch):
+                otr.ACTIVE.emit(
+                    EventKind.PML_DROP,
+                    level="hyp",
+                    cause="no_handler",
+                    n=int(len(batch)),
+                )
+                otr.ACTIVE.metrics.inc("pml.hyp.dropped", int(len(batch)))
         else:
             self.on_hyp_full(batch)
 
     def _raise_guest_full(self) -> None:
         self.n_guest_full_events += 1
         assert self.guest_buffer is not None
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(
+                EventKind.PML_FULL,
+                level="guest",
+                occupancy=self.guest_buffer.n_logged,
+                handled=self.on_guest_full is not None,
+            )
+            otr.ACTIVE.metrics.inc("pml.guest.full_events")
+            otr.ACTIVE.metrics.observe(
+                "pml.occupancy_at_flush", self.guest_buffer.n_logged
+            )
         batch = self.guest_buffer.drain()
         if self.on_guest_full is None:
             self.n_guest_dropped += int(len(batch))
+            if otr.ACTIVE is not None and len(batch):
+                otr.ACTIVE.emit(
+                    EventKind.PML_DROP,
+                    level="guest",
+                    cause="no_handler",
+                    n=int(len(batch)),
+                )
+                otr.ACTIVE.metrics.inc("pml.guest.dropped", int(len(batch)))
         else:
             self.on_guest_full(batch)
 
@@ -215,6 +267,12 @@ class PmlCircuit:
     def drain_hyp(self) -> np.ndarray:
         if self.hyp_buffer is None:
             return np.empty(0, dtype=np.uint64)
+        if otr.ACTIVE is not None:
+            # Residual occupancy at an explicit harvest drain: the low end
+            # of the flush-occupancy distribution (full events pin the top).
+            otr.ACTIVE.metrics.observe(
+                "pml.occupancy_at_flush", self.hyp_buffer.n_logged
+            )
         out = self.hyp_buffer.drain()
         self.vmcs.write(vm.F_PML_INDEX, self.hyp_buffer.index)
         return out
@@ -222,6 +280,10 @@ class PmlCircuit:
     def drain_guest(self) -> np.ndarray:
         if self.guest_buffer is None:
             return np.empty(0, dtype=np.uint64)
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.metrics.observe(
+                "pml.occupancy_at_flush", self.guest_buffer.n_logged
+            )
         out = self.guest_buffer.drain()
         self._guest_vmcs().write(vm.F_GUEST_PML_INDEX, self.guest_buffer.index)
         return out

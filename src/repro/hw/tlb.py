@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
+
 __all__ = ["Tlb"]
 
 
@@ -54,6 +57,9 @@ class Tlb:
         self.n_invalidations += int(v.size)
 
     def flush(self) -> None:
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(EventKind.TLB_FLUSH, n_cached=int(self._cached.sum()))
+            otr.ACTIVE.metrics.inc("tlb.flushes")
         self._cached[:] = False
         self.n_flushes += 1
 

@@ -23,6 +23,8 @@ from typing import Callable
 from repro.errors import HypercallError
 from repro.faults import injector as finj
 from repro.faults.plan import FaultSite
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = [
     "HC_OOH_INIT_PML",
@@ -68,6 +70,11 @@ class HypercallTable:
         if finj.ACTIVE is not None and finj.ACTIVE.should_fire(
             FaultSite.HYPERCALL_TRANSIENT
         ):
+            if otr.ACTIVE is not None:
+                otr.ACTIVE.emit(
+                    EventKind.HYPERCALL, nr=f"{nr:#x}", outcome="eagain"
+                )
+                otr.ACTIVE.metrics.inc(f"hypercall.{nr:#x}.eagain")
             # The guest already paid the hypercall entry cost; the call
             # bounces with a retryable errno, exactly like Xen's -EAGAIN.
             raise HypercallError(
@@ -75,6 +82,10 @@ class HypercallTable:
                 code="EAGAIN",
             )
         handler = self._handlers.get(nr)
+        if otr.ACTIVE is not None:
+            outcome = "dispatched" if handler is not None else "unknown"
+            otr.ACTIVE.emit(EventKind.HYPERCALL, nr=f"{nr:#x}", outcome=outcome)
+            otr.ACTIVE.metrics.inc(f"hypercall.{nr:#x}.{outcome}")
         if handler is None:
             raise HypercallError(f"unknown hypercall {nr:#x}")
         return handler(*args)

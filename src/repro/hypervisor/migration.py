@@ -22,6 +22,8 @@ from repro.core.clock import World
 from repro.errors import ConfigurationError
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vm import Vm
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 from repro.retry import is_transient
 
 __all__ = ["MigrationReport", "LiveMigration"]
@@ -76,6 +78,10 @@ class LiveMigration:
 
     def _send(self, n_pages: int) -> float:
         us = n_pages * self.page_send_us
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(EventKind.MIGRATION_ROUND, n_pages=int(n_pages))
+            otr.ACTIVE.metrics.inc("migration.rounds")
+            otr.ACTIVE.metrics.inc("migration.pages_sent", int(n_pages))
         self.hypervisor.clock.charge(
             us, World.HYPERVISOR, EV_MIGRATION_SEND, n_pages
         )

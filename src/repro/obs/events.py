@@ -1,0 +1,106 @@
+"""Typed trace events: the observability layer's vocabulary.
+
+Every instrumented seam emits one of these kinds.  The taxonomy mirrors
+the simulator's architectural boundaries (DESIGN.md §8): hardware
+transitions (vmexit, pml_full, self_ipi, tlb_flush), software datapaths
+(hypercall, ring_drop, retry), and tracker-level lifecycle (collect,
+resync, fallback_transition, migration_round).
+
+Events are deterministic by construction: fields carry only simulated
+state (page numbers, counters, reasons), never host time or object
+identities, so a run's event stream is a stable, diffable artifact —
+the property the golden-trace tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+
+__all__ = ["EventKind", "TraceEvent", "emit_collect_stats"]
+
+
+class EventKind(enum.Enum):
+    """What happened at an instrumented seam (source in brackets)."""
+
+    #: A vmexit was delivered to a root-mode handler [hw/cpu].
+    VMEXIT = "vmexit"
+    #: A PML buffer filled and was force-drained [hw/pml].
+    PML_FULL = "pml_full"
+    #: PML entries were discarded (no handler, or injected race) [hw/pml].
+    PML_DROP = "pml_drop"
+    #: A posted self-IPI was delivered / lost / delayed [hw/interrupts].
+    SELF_IPI = "self_ipi"
+    #: A hypercall reached the dispatch table [hypervisor/hypercalls].
+    HYPERCALL = "hypercall"
+    #: A transient failure triggered a backoff retry [retry].
+    RETRY = "retry"
+    #: The fallback chain degraded one step [core/techniques/fallback].
+    FALLBACK_TRANSITION = "fallback_transition"
+    #: A TLB was flushed whole [hw/tlb].
+    TLB_FLUSH = "tlb_flush"
+    #: A shared ring buffer lost its oldest entries [core/ringbuffer].
+    RING_DROP = "ring_drop"
+    #: One pre-copy round (or stop-and-copy) sent pages [hypervisor/migration].
+    MIGRATION_ROUND = "migration_round"
+    #: A page-access batch wrote these VPNs [hw/mmu].
+    WRITE = "write"
+    #: A tracker reported dirty VPNs [core/tracking].
+    COLLECT = "collect"
+    #: Per-collect OoH diagnostics [core/techniques/{spml,epml}].
+    COLLECT_STATS = "collect_stats"
+    #: Detected loss forced a conservative resync [core/ooh].
+    RESYNC = "resync"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One emitted event: a global sequence number, a kind, and fields.
+
+    Ordering is by ``seq`` alone — the trace has no timestamps, because
+    time attribution already lives in :class:`~repro.core.clock.SimClock`
+    and duplicating it would couple trace identity to float formatting.
+    """
+
+    seq: int
+    kind: EventKind
+    fields: dict
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON: sorted keys, no whitespace."""
+        obj = {"seq": self.seq, "kind": self.kind.value, **self.fields}
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        obj = json.loads(line)
+        seq = obj.pop("seq")
+        kind = EventKind(obj.pop("kind"))
+        return TraceEvent(seq=int(seq), kind=kind, fields=obj)
+
+
+#: CollectStats fields mirrored into COLLECT_STATS events.  Declared here
+#: (duck-typed) rather than importing the dataclass: ``core.ooh`` imports
+#: the obs package, so the dependency must stay one-directional.
+_COLLECT_STAT_FIELDS = (
+    "n_entries",
+    "n_vpns",
+    "n_unresolved",
+    "dropped",
+    "n_resyncs",
+    "n_retries",
+    "n_recovered_ipis",
+    "n_lost_vmexits",
+)
+
+
+def emit_collect_stats(session, technique: str, stats) -> None:
+    """Emit one COLLECT_STATS event mirroring an OoH ``CollectStats``."""
+    fields = {name: int(getattr(stats, name)) for name in _COLLECT_STAT_FIELDS}
+    fields["resynced"] = bool(stats.resynced)
+    session.emit(EventKind.COLLECT_STATS, technique=technique, **fields)
+    session.metrics.inc(f"collect_stats.{technique}.entries", fields["n_entries"])
+    session.metrics.observe(
+        f"collect_stats.{technique}.n_entries_dist", fields["n_entries"]
+    )

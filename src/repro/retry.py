@@ -20,6 +20,8 @@ from typing import Callable
 
 from repro.core.clock import SimClock, World
 from repro.errors import HypercallError, TransientError
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = [
     "EV_RETRY_BACKOFF",
@@ -99,9 +101,15 @@ class Retrier:
                     raise
                 if attempt >= self.policy.max_attempts:
                     self.n_exhausted += 1
+                    if otr.ACTIVE is not None:
+                        otr.ACTIVE.metrics.inc("retry.exhausted")
                     raise
                 self.n_retries += 1
-                self.clock.charge(
-                    self.policy.backoff_us(attempt), self.world, EV_RETRY_BACKOFF
-                )
+                backoff_us = self.policy.backoff_us(attempt)
+                if otr.ACTIVE is not None:
+                    otr.ACTIVE.emit(
+                        EventKind.RETRY, attempt=attempt, backoff_us=backoff_us
+                    )
+                    otr.ACTIVE.metrics.inc("retry.attempts")
+                self.clock.charge(backoff_us, self.world, EV_RETRY_BACKOFF)
                 attempt += 1

@@ -21,3 +21,16 @@ def test_main_writes_report(tmp_path, monkeypatch):
     assert "## table6" in text
     assert "## fig3" in text
     assert "Fig. 3: SPML collection breakdown" in text
+
+
+def test_main_metrics_appends_blocks(tmp_path, monkeypatch):
+    import repro.experiments.report as report_mod
+
+    subset = {k: report_mod.EXPERIMENTS[k] for k in ("table6",)}
+    monkeypatch.setattr(report_mod, "EXPERIMENTS", subset)
+    out = tmp_path / "r.md"
+    assert main(["--quick", "--metrics", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "Metrics: table6" in text
+    # The per-experiment block is populated, not an empty placeholder.
+    assert "(empty)" not in text

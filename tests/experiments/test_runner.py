@@ -82,6 +82,38 @@ def test_cli_rejects_bad_jobs():
         main(["table6", "--jobs", "0"])
 
 
+def test_cli_metrics_prints_registry(capsys):
+    assert main(["table6", "--quick", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "Observability metrics" in out
+    assert "Table VI" in out
+
+
+def test_cli_metrics_tables_match_plain(capsys):
+    """--metrics observes; it must not change the experiment tables."""
+    assert main(["table6", "--quick"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["table6", "--quick", "--metrics"]) == 0
+    with_metrics = capsys.readouterr().out
+    assert with_metrics.startswith(plain.rstrip("\n"))
+
+
+def test_cli_metrics_trace_out(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    assert main(["table6", "--quick", "--metrics",
+                 "--trace-out", str(out)]) == 0
+    capsys.readouterr()
+    from repro.obs.trace import TraceBuffer
+
+    buf = TraceBuffer.read_jsonl(out)
+    assert buf.to_jsonl() == out.read_text()
+
+
+def test_cli_trace_out_requires_metrics():
+    with pytest.raises(SystemExit):
+        main(["table6", "--quick", "--trace-out", "/tmp/x.jsonl"])
+
+
 def test_render_table_alignment():
     text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
     lines = text.splitlines()

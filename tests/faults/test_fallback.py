@@ -8,8 +8,21 @@ from repro.core.tracking import Technique, make_tracker
 from repro.core.techniques.fallback import FallbackTracker
 from repro.errors import TrackingError
 from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 HC_DOWN = FaultPlan([FaultSpec(FaultSite.HYPERCALL_TRANSIENT, 1.0)])
+
+
+def _assert_transitions_traced(session, tracker):
+    """Each degradation step appears exactly once in the trace, in order,
+    matching the tracker's own history."""
+    events = session.trace.by_kind(EventKind.FALLBACK_TRANSITION)
+    assert [
+        (e.fields["from"], e.fields["to"]) for e in events
+    ] == [(old, new) for old, new, _ in tracker.fallback_history]
+    assert len(events) == tracker.n_fallbacks
+    assert session.metrics.counter("fallback.transitions") == tracker.n_fallbacks
 
 
 def _spawn(stack, n_pages=256):
@@ -37,10 +50,11 @@ def test_start_falls_forward_when_hypercalls_are_down(stack):
     )
     # SPML attach needs hypercalls; with them permanently bouncing the
     # retrier exhausts and the chain degrades to /proc at start.
-    with HC_DOWN.active():
+    with otr.TraceSession().active() as session, HC_DOWN.active():
         tracker.start()
     assert tracker.current_technique is Technique.PROC
     assert tracker.n_fallbacks == 1
+    _assert_transitions_traced(session, tracker)
     stack.kernel.access(proc, np.arange(32), True)
     assert set(tracker.collect().tolist()) == set(range(32))
     tracker.stop()
@@ -56,7 +70,7 @@ def test_collect_failures_degrade_after_threshold(stack):
     tracker.start()  # SPML attaches fine while hypercalls work
     assert tracker.current_technique is Technique.SPML
     stack.kernel.access(proc, np.arange(64), True)
-    with HC_DOWN.active():
+    with otr.TraceSession().active() as session, HC_DOWN.active():
         # Failure 1: conservative interval (every mapped page) — the
         # failed interval's writes are still covered.
         got1 = tracker.collect()
@@ -70,6 +84,9 @@ def test_collect_failures_degrade_after_threshold(stack):
     assert tracker.n_fallbacks == 1
     old, new, reason = tracker.fallback_history[0]
     assert (old, new) == ("spml", "proc") and "collect failures" in reason
+    _assert_transitions_traced(session, tracker)
+    [transition] = session.trace.by_kind(EventKind.FALLBACK_TRANSITION)
+    assert "collect failures" in transition.fields["reason"]
     # The replacement technique works without hypercalls.
     stack.kernel.access(proc, [3, 5], True)
     assert {3, 5} <= set(tracker.collect().tolist())
@@ -84,13 +101,15 @@ def test_single_blip_does_not_degrade(stack):
         failure_threshold=2,
     )
     tracker.start()
-    for _ in range(3):
-        stack.kernel.access(proc, np.arange(16), True)
-        with HC_DOWN.active():
-            tracker.collect()  # one failure...
-        tracker.collect()  # ...then a success resets the streak
+    with otr.TraceSession().active() as session:
+        for _ in range(3):
+            stack.kernel.access(proc, np.arange(16), True)
+            with HC_DOWN.active():
+                tracker.collect()  # one failure...
+            tracker.collect()  # ...then a success resets the streak
     assert tracker.current_technique is Technique.SPML
     assert tracker.n_fallbacks == 0
+    assert session.trace.by_kind(EventKind.FALLBACK_TRANSITION) == []
     tracker.stop()
 
 

@@ -1,0 +1,42 @@
+"""Canonical small runs whose event streams are frozen as golden traces.
+
+One fixed scenario per technique: a 16 MiB VM, a 128-page process, three
+rounds of seeded random writes, a collect per round.  The PML buffer is
+shrunk to 32 entries so buffer-full events (and their vmexit / self-IPI
+consequences) appear in even these tiny traces.
+
+The prefault pass runs *inside* the session on purpose: demand paging and
+the initial dirty sweep are part of the frozen contract, and the WRITE
+events it emits make the written-set invariant checkable from the trace
+alone.
+"""
+
+import numpy as np
+
+from repro.core.tracking import make_tracker
+from repro.experiments.harness import build_stack
+from repro.obs import trace as otr
+
+GOLDEN_TECHNIQUES = ("spml", "epml", "oracle")
+N_PAGES = 128
+ROUNDS = 3
+SEED = 7
+
+
+def canonical_run(technique: str) -> otr.TraceSession:
+    """Run the frozen scenario for ``technique``; return its session."""
+    stack = build_stack(vm_mb=16, pml_buffer_entries=32)
+    proc = stack.kernel.spawn("app", n_pages=N_PAGES)
+    proc.space.add_vma(N_PAGES)
+    rng = np.random.default_rng(SEED)
+    session = otr.TraceSession()
+    with session.active():
+        stack.kernel.access(proc, np.arange(N_PAGES), True)
+        tracker = make_tracker(technique, stack.kernel, proc)
+        tracker.start()
+        for _ in range(ROUNDS):
+            vpns = rng.integers(0, N_PAGES, size=3 * N_PAGES // 4)
+            stack.kernel.access(proc, vpns, True)
+            tracker.collect()
+        tracker.stop()
+    return session

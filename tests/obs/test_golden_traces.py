@@ -1,0 +1,80 @@
+"""Golden-trace regression tests.
+
+Each canonical run (see :mod:`tests.obs.golden_runs`) must serialize to a
+JSONL stream *byte-identical* to the checked-in file under ``golden/``.
+Any change to instrumentation seams, event fields, serialization, or the
+simulated control flow itself shows up as a diff here.
+
+Regenerating after an intentional change::
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_traces.py
+
+then review the golden-file diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs.trace import TraceBuffer
+
+from .golden_runs import GOLDEN_TECHNIQUES, canonical_run
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _regolden() -> bool:
+    return os.environ.get("REPRO_REGOLDEN") == "1"
+
+
+@pytest.mark.parametrize("technique", GOLDEN_TECHNIQUES)
+def test_trace_matches_golden(technique):
+    session = canonical_run(technique)
+    got = session.trace.to_jsonl()
+    assert got, f"canonical {technique} run emitted no events"
+    path = GOLDEN_DIR / f"{technique}.jsonl"
+    if _regolden():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(got)
+        pytest.skip(f"regenerated {path}")
+    assert path.is_file(), (
+        f"missing golden trace {path}; regenerate with REPRO_REGOLDEN=1"
+    )
+    assert got == path.read_text()
+
+
+@pytest.mark.parametrize("technique", GOLDEN_TECHNIQUES)
+def test_replay_is_deterministic(technique):
+    """Two identical runs serialize byte-identically (no hidden state)."""
+    a = canonical_run(technique).trace.to_jsonl()
+    b = canonical_run(technique).trace.to_jsonl()
+    assert a == b
+
+
+@pytest.mark.parametrize("technique", GOLDEN_TECHNIQUES)
+def test_golden_roundtrips_through_parser(technique):
+    """read_jsonl(write_jsonl(x)) preserves every event exactly."""
+    if _regolden():
+        pytest.skip("regolden pass")
+    path = GOLDEN_DIR / f"{technique}.jsonl"
+    buf = TraceBuffer.read_jsonl(path)
+    assert buf.to_jsonl() == path.read_text()
+    assert len(buf) > 0
+
+
+def test_golden_traces_are_nontrivial():
+    """The frozen scenarios exercise the interesting seams: buffer-full
+    consequences differ per technique (SPML: pml_full vmexits; EPML:
+    self-IPIs with no pml_full vmexit)."""
+    if _regolden():
+        pytest.skip("regolden pass")
+    spml = TraceBuffer.read_jsonl(GOLDEN_DIR / "spml.jsonl")
+    epml = TraceBuffer.read_jsonl(GOLDEN_DIR / "epml.jsonl")
+    spml_counts = spml.kind_counts()
+    epml_counts = epml.kind_counts()
+    assert spml_counts.get("pml_full", 0) > 0
+    assert spml_counts.get("vmexit", 0) > 0
+    assert spml_counts.get("hypercall", 0) > 0
+    assert epml_counts.get("self_ipi", 0) > 0
+    assert epml_counts.get("collect", 0) > 0
