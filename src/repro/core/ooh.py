@@ -152,17 +152,21 @@ class OohModule:
         self.clock: SimClock = kernel.clock
         self.costs: CostModel = kernel.costs
         self._attachment: OohAttachment | None = None
-        self._pending_guest_entries: list[np.ndarray] = []
+        #: EPML batches awaiting the self-IPI handler: (vcpu_id, entries).
+        self._pending_guest_entries: list[tuple[int, np.ndarray]] = []
         self._idt_registered = False
-        self._guest_buf_gpfn: int | None = None
+        #: EPML: one guest-level buffer frame per vCPU (index = vcpu_id).
+        self._guest_buf_gpfns: list[int] = []
         self.n_self_ipis_handled = 0
         #: Transient hypercall / allocation failures back off and retry
         #: (kernel context: the module issues the calls).
         self.retrier = Retrier(self.clock, World.KERNEL)
 
-    def _hc(self, nr: int, *args: object) -> object:
-        """Issue a hypercall, retrying transient (EAGAIN-class) failures."""
-        return self.retrier.call(lambda: self.vcpu.hypercall(nr, *args))
+    def _hc(self, nr: int, *args: object, vcpu=None) -> object:
+        """Issue a hypercall (on ``vcpu``, default BSP), retrying
+        transient (EAGAIN-class) failures."""
+        vc = self.vcpu if vcpu is None else vcpu
+        return self.retrier.call(lambda: vc.hypercall(nr, *args))
 
     @classmethod
     def shared(
@@ -178,6 +182,11 @@ class OohModule:
     @property
     def vcpu(self):
         return self.kernel.vm.vcpu
+
+    def _cur_vcpu(self, process: Process):
+        """The vCPU ``process`` currently runs on — module code executes
+        in that process's kernel context (SMP)."""
+        return self.kernel.vm.vcpus[self.kernel.scheduler.vcpu_of(process)]
 
     # ------------------------------------------------------------------
     # attach / detach
@@ -212,18 +221,19 @@ class OohModule:
         resync.  All components are *surfaced* counters, so losses are
         never silent even when resync is off.
         """
-        pml = self.vcpu.pml
+        # SMP: loss can occur on any vCPU the tracked process visited,
+        # so counters sum across vCPUs.
+        vcpus = self.kernel.vm.vcpus
         if att.kind is OohKind.EPML:
-            return (
-                att.ring.total_dropped
-                + pml.n_guest_dropped
-                + pml.n_guest_injected_drops
+            return att.ring.total_dropped + sum(
+                vc.pml.n_guest_dropped + vc.pml.n_guest_injected_drops
+                for vc in vcpus
             )
-        return (
-            att.ring.total_dropped
-            + pml.n_hyp_dropped
-            + pml.n_hyp_injected_drops
-            + self.vcpu.n_dropped_vmexits
+        return att.ring.total_dropped + sum(
+            vc.pml.n_hyp_dropped
+            + vc.pml.n_hyp_injected_drops
+            + vc.n_dropped_vmexits
+            for vc in vcpus
         )
 
     # -- SPML -------------------------------------------------------------
@@ -246,7 +256,10 @@ class OohModule:
         self.clock.charge(
             self.costs.params.enable_logging_us, World.KERNEL, EV_ENABLE_LOGGING
         )
-        self._hc(hc.HC_OOH_ENABLE_LOGGING)
+        # Issued on the vCPU the process runs on: logging follows the
+        # tracked process across vCPUs (sched-out drains the old vCPU's
+        # buffer, sched-in arms the new one's).
+        self._hc(hc.HC_OOH_ENABLE_LOGGING, vcpu=self._cur_vcpu(process))
 
     def _spml_disable(self, process: Process) -> None:
         self.clock.charge(
@@ -254,7 +267,7 @@ class OohModule:
             World.KERNEL,
             EV_DISABLE_LOGGING,
         )
-        self._hc(hc.HC_OOH_DISABLE_LOGGING)
+        self._hc(hc.HC_OOH_DISABLE_LOGGING, vcpu=self._cur_vcpu(process))
 
     def _collect_spml(self, att: OohAttachment) -> np.ndarray:
         """Flush + drain + reverse-map + re-arm (tracker context)."""
@@ -265,7 +278,9 @@ class OohModule:
         stats = CollectStats(
             n_entries=int(gpas.size),
             dropped=att.ring.total_dropped,
-            n_lost_vmexits=self.vcpu.n_dropped_vmexits,
+            n_lost_vmexits=sum(
+                vc.n_dropped_vmexits for vc in self.kernel.vm.vcpus
+            ),
         )
         mem_pages = att.process.space.n_pages
         self.clock.charge(
@@ -321,7 +336,11 @@ class OohModule:
         vpns = vpns[vpns >= 0]
         # Re-arm the EPT dirty bits so the next interval re-logs.
         if gpas.size:
-            self._hc(hc.HC_OOH_RESET_DIRTY, gpas.astype(np.int64))
+            self._hc(
+                hc.HC_OOH_RESET_DIRTY,
+                gpas.astype(np.int64),
+                vcpu=self._cur_vcpu(att.process),
+            )
         vpns = np.asarray(vpns, dtype=np.int64)
         vpns = self._maybe_resync(att, stats, vpns)
         self._spml_enable(att.process)
@@ -338,16 +357,24 @@ class OohModule:
             EV_HC_INIT_PML_SHADOW,
         )
         self._hc(hc.HC_OOH_INIT_PML_SHADOW)
-        # Allocate the guest-level PML buffer (one guest page) and point
-        # the (shadow) VMCS at it; the extended vmwrite translates the
-        # GPA through the EPT.
-        buf_gpfn = int(self.retrier.call(lambda: self.kernel.vm.guest_frames.alloc(1))[0])
-        self._guest_buf_gpfn = buf_gpfn
-        self.vcpu.vmwrite(vmcsf.F_GUEST_PML_ADDRESS, buf_gpfn)
-        self.vcpu.pml.configure_guest_buffer()
-        self.vcpu.pml.on_guest_full = self._on_guest_pml_full
+        # Allocate one guest-level PML buffer (one guest page) *per vCPU*
+        # and point each (shadow) VMCS at its own; the extended vmwrite
+        # translates the GPA through the EPT.  Per-vCPU buffers mirror
+        # PML's per-logical-processor architecture — two vCPUs must never
+        # race on one buffer's index.
+        for vc in self.kernel.vm.vcpus:
+            buf_gpfn = int(
+                self.retrier.call(lambda: self.kernel.vm.guest_frames.alloc(1))[0]
+            )
+            self._guest_buf_gpfns.append(buf_gpfn)
+            vc.vmwrite(vmcsf.F_GUEST_PML_ADDRESS, buf_gpfn)
+            vc.pml.configure_guest_buffer()
+            vc.pml.on_guest_full = self._make_guest_full_handler(vc)
         if not self._idt_registered:
-            self.kernel.idt.register(VECTOR_OOH_PML_FULL, self._self_ipi_handler)
+            # The self-IPI arrives on whichever vCPU's buffer filled, so
+            # the handler registers in every vCPU's IDT.
+            for idt in self.kernel.idts:
+                idt.register(VECTOR_OOH_PML_FULL, self._self_ipi_handler)
             self._idt_registered = True
         ring = RingBuffer(self.ring_capacity)
         att = OohAttachment(self, process, OohKind.EPML, ring)
@@ -359,16 +386,23 @@ class OohModule:
         mapped = process.space.pt.mapped_vpns()
         if mapped.size:
             process.space.pt.clear_flags(mapped, PTE_DIRTY)
-            # Downgraded translations must leave the TLB or cached dirty
-            # entries would let writes skip the 0 -> 1 logging circuit.
-            process.space.tlb.invalidate(mapped)
-        self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
+            # Downgraded translations must leave *every* vCPU's TLB or
+            # cached dirty entries would let writes skip the 0 -> 1
+            # logging circuit.
+            self.kernel.tlb_shootdown(process, mapped)
+        # Logging is armed on the vCPU the process currently runs on (the
+        # sched hooks move it on migration).
+        self._cur_vcpu(process).vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
         return att
 
-    def _on_guest_pml_full(self, entries: np.ndarray) -> None:
-        """Hardware path: buffer full -> posted self-IPI into the guest."""
-        self._pending_guest_entries.append(entries)
-        self.vcpu.interrupts.post(VECTOR_OOH_PML_FULL)
+    def _make_guest_full_handler(self, vc):
+        """Hardware path: ``vc``'s buffer full -> posted self-IPI on ``vc``."""
+
+        def on_full(entries: np.ndarray) -> None:
+            self._pending_guest_entries.append((vc.vcpu_id, entries))
+            vc.interrupts.post(VECTOR_OOH_PML_FULL)
+
+        return on_full
 
     def _self_ipi_handler(self, vector: int) -> None:
         """Guest-side handler: copy logged GVAs to the process ring."""
@@ -378,14 +412,14 @@ class OohModule:
             return
         self.n_self_ipis_handled += 1
         while self._pending_guest_entries:
-            entries = self._pending_guest_entries.pop(0)
+            src, entries = self._pending_guest_entries.pop(0)
             self.clock.charge(
                 self.costs.rb_copy_us(int(entries.size), att.process.space.n_pages),
                 World.KERNEL,
                 EV_RB_COPY,
                 int(entries.size),
             )
-            att.ring.push(entries)
+            att.ring.push(entries, source=src)
 
     def _collect_epml(self, att: OohAttachment) -> np.ndarray:
         """Plain ring drain; re-arm by clearing PTE dirty bits."""
@@ -395,20 +429,26 @@ class OohModule:
         # injection-delayed self-IPIs, then sweep batches whose IPI was
         # lost outright (they sit in the pending list; the module finds
         # them when the tracker enters the collect path).
-        self.vcpu.interrupts.flush_delayed()
+        for vc in self.kernel.vm.vcpus:
+            vc.interrupts.flush_delayed()
         if self._pending_guest_entries:
             stats.n_recovered_ipis = len(self._pending_guest_entries)
             self._self_ipi_handler(VECTOR_OOH_PML_FULL)
-        # Pull residual entries still in the guest-level PML buffer.
-        residual = self.vcpu.pml.drain_guest()
-        if residual.size:
-            self.clock.charge(
-                self.costs.rb_copy_us(int(residual.size), att.process.space.n_pages),
-                World.KERNEL,
-                EV_RB_COPY,
-                int(residual.size),
-            )
-            att.ring.push(residual)
+        # Pull residual entries still in the guest-level PML buffers —
+        # every vCPU the process visited may hold some; drained in
+        # ascending vCPU id (deterministic merge order).
+        for vc in self.kernel.vm.vcpus:
+            residual = vc.pml.drain_guest()
+            if residual.size:
+                self.clock.charge(
+                    self.costs.rb_copy_us(
+                        int(residual.size), att.process.space.n_pages
+                    ),
+                    World.KERNEL,
+                    EV_RB_COPY,
+                    int(residual.size),
+                )
+                att.ring.push(residual, source=vc.vcpu_id)
         gvas = att.ring.pop_all()
         stats.n_entries = int(gvas.size)
         stats.dropped = att.ring.total_dropped
@@ -424,7 +464,7 @@ class OohModule:
         # translation would let the next write dodge the re-armed log.
         if vpns.size:
             att.process.space.pt.clear_flags(vpns, PTE_DIRTY)
-            att.process.space.tlb.invalidate(vpns)
+            self.kernel.tlb_shootdown(att.process, vpns)
             self.clock.charge(
                 self.costs.params.pte_dirty_clear_us * vpns.size,
                 World.TRACKER,
@@ -439,19 +479,23 @@ class OohModule:
 
     # -- shared -------------------------------------------------------------
     def _install_sched_hooks(self, att: OohAttachment) -> None:
+        # The vCPU is resolved *at hook time*: sched-out fires before the
+        # scheduler's round-robin rotation (old vCPU), sched-in after it
+        # (new vCPU) — so logging disarms where the process left and arms
+        # where it landed.
         def on_out(proc: Process) -> None:
             if att.active and proc.pid == att.process.pid:
                 if att.kind is OohKind.SPML:
                     self._spml_disable(proc)
                 else:
-                    self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+                    self._cur_vcpu(proc).vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
 
         def on_in(proc: Process) -> None:
             if att.active and proc.pid == att.process.pid:
                 if att.kind is OohKind.SPML:
                     self._spml_enable(proc)
                 else:
-                    self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
+                    self._cur_vcpu(proc).vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 1)
 
         self.kernel.scheduler.add_sched_out_hook(on_out)
         self.kernel.scheduler.add_sched_in_hook(on_in)
@@ -465,16 +509,19 @@ class OohModule:
             )
             self._hc(hc.HC_OOH_DEACT_PML)
         else:
-            self.vcpu.vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+            # Disarm logging on the vCPU currently running the process
+            # (the only one armed); the deact hypercall then tears down
+            # shadowing on every vCPU hypervisor-side.
+            self._cur_vcpu(att.process).vmwrite(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
             self.clock.charge(
                 self.costs.params.hc_deact_pml_shadow_us,
                 World.TRACKER,
                 EV_HC_DEACT_PML_SHADOW,
             )
             self._hc(hc.HC_OOH_DEACT_PML_SHADOW)
-            if self._guest_buf_gpfn is not None:
-                self.kernel.vm.guest_frames.free([self._guest_buf_gpfn])
-                self._guest_buf_gpfn = None
+            if self._guest_buf_gpfns:
+                self.kernel.vm.guest_frames.free(self._guest_buf_gpfns)
+                self._guest_buf_gpfns = []
         self._attachment = None
 
     # -- recovery ---------------------------------------------------------
@@ -518,7 +565,7 @@ class OohModule:
             return mapped
         if att.kind is OohKind.EPML:
             att.process.space.pt.clear_flags(mapped, PTE_DIRTY)
-            att.process.space.tlb.invalidate(mapped)
+            self.kernel.tlb_shootdown(att.process, mapped)
         else:
             gpas = att.process.space.pt.translate(mapped)
             self._hc(hc.HC_OOH_RESET_DIRTY, gpas.astype(np.int64))
@@ -545,15 +592,17 @@ class OohModule:
             vm.enabled_by_guest = False
             vm.spml_ring = None
             if not vm.enabled_by_hyp:
-                self.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
+                for vc in vm.vcpus:
+                    vc.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
         else:
             # Object-level VMCS writes (no vmwrite cost/mode checks): the
             # "crashed" module cannot run the normal teardown path.
-            self.vcpu.pml._guest_vmcs().write(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
-            self.vcpu.pml.on_guest_full = None
-            if self._guest_buf_gpfn is not None:
-                self.kernel.vm.guest_frames.free([self._guest_buf_gpfn])
-                self._guest_buf_gpfn = None
+            for vc in vm.vcpus:
+                vc.pml._guest_vmcs().write(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+                vc.pml.on_guest_full = None
+            if self._guest_buf_gpfns:
+                self.kernel.vm.guest_frames.free(self._guest_buf_gpfns)
+                self._guest_buf_gpfns = []
         self._attachment = None
 
 

@@ -52,13 +52,15 @@ class OohSpp:
             self.costs.params.hc_spp_init_us, World.TRACKER, EV_HC_SPP_INIT
         )
         self._spp = self.kernel.vm.vcpu.hypercall(hc.HC_OOH_SPP_INIT)
-        self.kernel.idt.register(
-            VECTOR_OOH_SPP_VIOLATION, self._on_violation_interrupt
-        )
+        # SMP: the violation interrupt is injected on the vCPU that took
+        # the SPP vmexit, so the handler registers in every vCPU's IDT.
+        for idt in self.kernel.idts:
+            idt.register(VECTOR_OOH_SPP_VIOLATION, self._on_violation_interrupt)
 
     def close(self) -> None:
         if self._spp is not None:
-            self.kernel.idt.unregister(VECTOR_OOH_SPP_VIOLATION)
+            for idt in self.kernel.idts:
+                idt.unregister(VECTOR_OOH_SPP_VIOLATION)
             self._spp = None
             self._handlers.clear()
 

@@ -39,6 +39,11 @@ class RingBuffer:
         self._size = 0
         self.total_pushed = 0
         self.total_dropped = 0
+        #: SMP diagnostics: entries pushed per source (e.g. vCPU id).
+        #: Only populated when producers pass ``source=`` to :meth:`push`;
+        #: the differential tests use it to assert deterministic merge
+        #: order across per-vCPU logs.
+        self.pushed_by_source: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -53,14 +58,18 @@ class RingBuffer:
         return self._capacity - self._size
 
     # ------------------------------------------------------------------
-    def push(self, pfns: np.ndarray | list[int]) -> int:
+    def push(self, pfns: np.ndarray | list[int], source=None) -> int:
         """Append page-frame numbers; drop oldest entries on overflow.
 
+        ``source`` optionally tags the producer (e.g. the vCPU id whose
+        PML buffer these entries came from) for per-source accounting.
         Returns the number of entries dropped to make room.
         """
         arr = np.asarray(pfns, dtype=np.uint64).ravel()
         n = len(arr)
         self.total_pushed += n
+        if source is not None:
+            self.pushed_by_source[source] = self.pushed_by_source.get(source, 0) + n
         if n == 0:
             return 0
         if n >= self._capacity:

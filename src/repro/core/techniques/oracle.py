@@ -39,7 +39,10 @@ class OracleTracker(DirtyPageTracker):
         mapped = self.process.space.pt.mapped_vpns()
         if mapped.size:
             self.process.space.pt.clear_flags(mapped, PTE_DIRTY)
-            self.process.space.tlb.invalidate(mapped)
+            # SMP: every vCPU may cache the downgraded translations; the
+            # oracle invalidates them all directly (costless — no charged
+            # shootdown IPIs).
+            self.process.space.invalidate_all(mapped)
         self.kernel.add_access_listener(self._listener)
 
     def _do_collect(self) -> np.ndarray:
@@ -48,7 +51,7 @@ class OracleTracker(DirtyPageTracker):
         # Re-arm PTE dirty transitions (free: the oracle is costless).
         if out.size:
             self.process.space.pt.clear_flags(out, PTE_DIRTY)
-            self.process.space.tlb.invalidate(out)
+            self.process.space.invalidate_all(out)
         return out
 
     def _do_stop(self) -> None:

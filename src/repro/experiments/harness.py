@@ -18,6 +18,7 @@ time).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from types import SimpleNamespace
 
@@ -46,18 +47,39 @@ __all__ = [
 ]
 
 
+def _default_n_vcpus() -> int:
+    """Experiment-level vCPU count: ``REPRO_VCPUS`` (default 1).
+
+    Only :func:`build_stack` honours the environment variable — direct
+    ``Hypervisor.create_vm`` callers (unit tests, golden-trace runs) pin
+    their own count, so a CI matrix leg exporting ``REPRO_VCPUS=4`` scales
+    the experiment stacks without perturbing exact-count tests.
+    """
+    return int(os.environ.get("REPRO_VCPUS", "1"))
+
+
 def build_stack(
     vm_mb: float = 5 * 1024,
     host_mb: float | None = None,
     switch_interval_us: float = DEFAULT_SWITCH_INTERVAL_US,
     cost_params: CostParams | None = None,
     pml_buffer_entries: int = 512,
+    n_vcpus: int | None = None,
 ) -> SimpleNamespace:
-    """One host + one VM (the paper's setup: 1 dedicated vCPU, 5 GB)."""
+    """One host + one VM (the paper's setup: 1 dedicated vCPU, 5 GB).
+
+    ``n_vcpus`` overrides the VM's vCPU count (SMP); when None it comes
+    from ``REPRO_VCPUS`` (default 1, the paper's configuration).
+    """
     clock = SimClock()
     costs = CostModel(params=cost_params) if cost_params else CostModel()
     hv = Hypervisor(clock, costs, host_mem_mb=host_mb or (vm_mb + 512))
-    vm = hv.create_vm("vm0", mem_mb=vm_mb, pml_buffer_entries=pml_buffer_entries)
+    vm = hv.create_vm(
+        "vm0",
+        mem_mb=vm_mb,
+        pml_buffer_entries=pml_buffer_entries,
+        n_vcpus=n_vcpus if n_vcpus is not None else _default_n_vcpus(),
+    )
     kernel = GuestKernel(vm, switch_interval_us=switch_interval_us)
     return SimpleNamespace(clock=clock, costs=costs, hv=hv, vm=vm, kernel=kernel)
 
@@ -143,7 +165,7 @@ def run_microbench(
     if passes < 1:
         raise ValueError("passes must be >= 1")
     key = ("microbench", technique.value, mem_mb, passes, cost_params,
-           pml_buffer_entries, switch_interval_us)
+           pml_buffer_entries, switch_interval_us, _default_n_vcpus())
     return EXPERIMENT_CACHE.get_or_run(key, lambda: _run_microbench_uncached(
         technique, mem_mb, passes, cost_params, pml_buffer_entries,
         switch_interval_us,
@@ -281,7 +303,7 @@ def run_criu(
     """
     technique = Technique(technique) if isinstance(technique, str) else technique
     key = ("criu", app, config, technique.value, scale, dump_at_fraction,
-           track_from_fraction)
+           track_from_fraction, _default_n_vcpus())
     return EXPERIMENT_CACHE.get_or_run(key, lambda: _run_criu_uncached(
         app, config, technique, scale, dump_at_fraction, track_from_fraction,
     ))
@@ -300,7 +322,7 @@ def _run_criu_uncached(
     # Untracked baseline: (n_opportunities, ideal_us), shared across the
     # technique sweep for one (app, config, scale).
     n_opps, ideal_us = EXPERIMENT_CACHE.get_or_run(
-        ("criu_ideal", app, config, scale),
+        ("criu_ideal", app, config, scale, _default_n_vcpus()),
         lambda: _count_opportunities(
             make_workload(app, config, scale=scale), vm_mb
         ),
@@ -413,7 +435,8 @@ def run_boehm(
     """
     technique = Technique(technique) if isinstance(technique, str) else technique
     params = gc_params if gc_params is not None else GcParams()
-    key = ("boehm", app, config, technique.value, scale, params)
+    key = ("boehm", app, config, technique.value, scale, params,
+           _default_n_vcpus())
     return EXPERIMENT_CACHE.get_or_run(key, lambda: _run_boehm_uncached(
         app, config, technique, scale, params,
     ))
@@ -429,7 +452,7 @@ def _run_boehm_uncached(
     # Oracle baselines are deterministic per configuration: cache the
     # whole run so a technique sweep pays for each baseline once.
     oracle = EXPERIMENT_CACHE.get_or_run(
-        ("boehm_oracle", app, config, scale, params),
+        ("boehm_oracle", app, config, scale, params, _default_n_vcpus()),
         lambda: _boehm_once(app, config, Technique.ORACLE, scale, params)[1],
     )
     if technique is Technique.ORACLE:

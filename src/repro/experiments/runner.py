@@ -479,6 +479,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="run experiment families in N worker processes "
                              "(VM stacks are independent; output order is "
                              "unchanged)")
+    parser.add_argument("--vcpus", type=int, default=None, metavar="N",
+                        help="run every experiment VM with N vCPUs "
+                             "(sets REPRO_VCPUS, so --jobs workers inherit "
+                             "it; default: 1, or the REPRO_VCPUS env var)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect observability metrics during the runs "
                              "and print the registry afterwards (forces "
@@ -489,6 +493,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.vcpus is not None:
+        if args.vcpus < 1:
+            parser.error("--vcpus must be >= 1")
+        # Via the environment so ProcessPoolExecutor workers (and the
+        # experiment cache keys) see the same vCPU count.
+        import os
+
+        os.environ["REPRO_VCPUS"] = str(args.vcpus)
     if args.trace_out and not args.metrics:
         parser.error("--trace-out requires --metrics")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

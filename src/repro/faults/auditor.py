@@ -89,15 +89,19 @@ class CompletenessAuditor:
 
     # ------------------------------------------------------------------
     def _counters(self) -> dict[str, int]:
-        vcpu = self.kernel.vm.vcpu
-        pml = vcpu.pml
+        # SMP: loss can surface on any vCPU, so sum across all of them.
+        vcpus = self.kernel.vm.vcpus
         return {
-            "pml_hyp_dropped": pml.n_hyp_dropped,
-            "pml_guest_dropped": pml.n_guest_dropped,
-            "pml_hyp_injected_drops": pml.n_hyp_injected_drops,
-            "pml_guest_injected_drops": pml.n_guest_injected_drops,
-            "vmexits_dropped": vcpu.n_dropped_vmexits,
-            "self_ipis_lost": vcpu.interrupts.n_lost,
+            "pml_hyp_dropped": sum(vc.pml.n_hyp_dropped for vc in vcpus),
+            "pml_guest_dropped": sum(vc.pml.n_guest_dropped for vc in vcpus),
+            "pml_hyp_injected_drops": sum(
+                vc.pml.n_hyp_injected_drops for vc in vcpus
+            ),
+            "pml_guest_injected_drops": sum(
+                vc.pml.n_guest_injected_drops for vc in vcpus
+            ),
+            "vmexits_dropped": sum(vc.n_dropped_vmexits for vc in vcpus),
+            "self_ipis_lost": sum(vc.interrupts.n_lost for vc in vcpus),
         }
 
     def _surfaced_since_start(self) -> dict[str, int]:

@@ -9,8 +9,17 @@ It exposes the two entry points workloads drive:
   new pages (its own arithmetic), which also advances the scheduler and
   thereby generates the context switches that SPML/EPML hook.
 
-It also owns the /proc interface, the IDT, and userfaultfd creation, and
-offers a zero-cost access-listener hook used by the oracle technique.
+It also owns the /proc interface, the per-vCPU IDTs, and userfaultfd
+creation, and offers a zero-cost access-listener hook used by the oracle
+technique.
+
+SMP: every access batch executes on the vCPU the scheduler currently
+assigns the process to — faults, PML logging, and TLB fills all happen on
+that vCPU.  Permission changes (clear_refs, ufd write-protect, PTE
+dirty-bit clears) must invalidate *every* vCPU's cached translations, so
+the kernel implements the classic TLB-shootdown protocol: invalidate
+locally, then IPI each remote vCPU that may hold a stale entry
+(:meth:`tlb_shootdown` / :meth:`tlb_flush_all`).
 """
 
 from __future__ import annotations
@@ -29,8 +38,11 @@ from repro.guest.process import AddressSpace, Process, ProcessState
 from repro.guest.procfs import ProcFs
 from repro.guest.scheduler import DEFAULT_SWITCH_INTERVAL_US, Scheduler
 from repro.guest.uffd import UserFaultFd
+from repro.hw.interrupts import VECTOR_TLB_SHOOTDOWN
 from repro.hw.mmu import MmuResult
 from repro.hypervisor.vm import Vm
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
 
 __all__ = ["GuestKernel"]
 
@@ -48,13 +60,39 @@ class GuestKernel:
         self.vm = vm
         self.clock: SimClock = vm.clock
         self.costs: CostModel = vm.costs
-        self.procfs = ProcFs(self.clock, self.costs)
-        self.idt = Idt(vm.vcpu)
-        self.scheduler = Scheduler(self.clock, self.costs, switch_interval_us)
+        self.procfs = ProcFs(self.clock, self.costs, kernel=self)
+        self.idts = [Idt(vc) for vc in vm.vcpus]
+        self.scheduler = Scheduler(
+            self.clock, self.costs, switch_interval_us, n_vcpus=vm.n_vcpus
+        )
         self.processes: dict[int, Process] = {}
         self._fault_handlers: dict[int, ProcessFaultHandler] = {}
         self._access_listeners: list[AccessListener] = []
         self._next_pid = 1
+        #: Per-vCPU queues of (tlb, vpns-or-None) shootdown work; drained
+        #: by the VECTOR_TLB_SHOOTDOWN handler on the target vCPU (None
+        #: means full flush).  Delivery is synchronous, so a queue never
+        #: outlives the tlb_shootdown/tlb_flush_all call that filled it.
+        self._pending_shootdowns: list[list] = [[] for _ in vm.vcpus]
+        for k, idt in enumerate(self.idts):
+            idt.register(VECTOR_TLB_SHOOTDOWN, self._make_shootdown_handler(k))
+
+    @property
+    def idt(self) -> Idt:
+        """vCPU 0's IDT — single-vCPU compatibility alias."""
+        return self.idts[0]
+
+    def _make_shootdown_handler(self, vcpu_id: int) -> Callable[[int], None]:
+        def handle(_vector: int) -> None:
+            pending = self._pending_shootdowns[vcpu_id]
+            while pending:
+                tlb, vpns = pending.pop(0)
+                if vpns is None:
+                    tlb.flush()
+                else:
+                    tlb.invalidate(vpns)
+
+        return handle
 
     # ------------------------------------------------------------------
     # process lifecycle
@@ -71,7 +109,9 @@ class GuestKernel:
         pages = n_pages if n_pages is not None else int(round(mem_mb * PAGES_PER_MB))
         pid = self._next_pid
         self._next_pid += 1
-        proc = Process(pid=pid, name=name, space=AddressSpace(pages))
+        proc = Process(
+            pid=pid, name=name, space=AddressSpace(pages, n_vcpus=self.vm.n_vcpus)
+        )
         self.processes[pid] = proc
         self._fault_handlers[pid] = ProcessFaultHandler(
             self.clock, self.costs, proc, self.vm.guest_frames
@@ -80,7 +120,7 @@ class GuestKernel:
 
     def exit_process(self, process: Process) -> None:
         process.state = ProcessState.DEAD
-        process.space.tlb.flush()
+        self.tlb_flush_all(process)
         freed = process.space.pt.unmap(process.space.mapped_vpns())
         if freed.size:
             self.vm.guest_frames.free(freed)
@@ -106,14 +146,25 @@ class GuestKernel:
         vpns: np.ndarray | list[int],
         write: np.ndarray | bool,
     ) -> MmuResult:
-        """Run a page-access batch for ``process``."""
+        """Run a page-access batch for ``process``.
+
+        The batch executes on the vCPU the scheduler currently assigns the
+        process to: faults, PML logging, and the TLB refill all land on
+        that vCPU's structures.
+        """
         if process.state is ProcessState.DEAD:
             raise GuestError(f"access by dead process {process.pid}")
         if process.state is ProcessState.STOPPED:
             raise GuestError(f"access by stopped process {process.pid}")
         handler = self._fault_handlers[process.pid]
+        k = self.scheduler.vcpu_of(process)
         result = self.vm.mmu.access(
-            process.space.pt, process.space.tlb, vpns, write, handler
+            process.space.pt,
+            process.space.tlbs[k],
+            vpns,
+            write,
+            handler,
+            pml=self.vm.vcpus[k].pml,
         )
         for listener in self._access_listeners:
             listener(process, result)
@@ -140,7 +191,8 @@ class GuestKernel:
                 self.access(process, [vpn], False)
                 gpfn = int(process.space.pt.gpfn[vpn])
             if not spp.check_write(gpfn, subpage):
-                self.vm.vcpu.vmexit(
+                cur = self.vm.vcpus[self.scheduler.vcpu_of(process)]
+                cur.vmexit(
                     ExitReason.SPP_VIOLATION, (process.pid, vpn, subpage)
                 )
                 return False
@@ -159,10 +211,71 @@ class GuestKernel:
         self.scheduler.notify_runtime(process, us)
 
     # ------------------------------------------------------------------
+    # TLB shootdowns (SMP)
+    # ------------------------------------------------------------------
+    def tlb_shootdown(self, process: Process, vpns: np.ndarray | list[int]) -> int:
+        """Invalidate ``vpns`` on every vCPU caching them; returns the
+        number of remote vCPUs IPI'd.
+
+        Classic protocol: invalidate the initiating vCPU's TLB directly,
+        then send a shootdown IPI to each *remote* vCPU that may hold one
+        of the translations (filtered on its TLB state, as Linux filters
+        on ``mm_cpumask``).  Shootdown IPIs are reliable — the initiator
+        spins until acked — so they use the non-droppable delivery path.
+        """
+        vpns = np.asarray(vpns, dtype=np.int64).ravel()
+        initiator = self.scheduler.vcpu_of(process)
+        tlbs = process.space.tlbs
+        tlbs[initiator].invalidate(vpns)
+        targets = [
+            k
+            for k in range(len(tlbs))
+            if k != initiator and vpns.size and tlbs[k].cached_any(vpns)
+        ]
+        for k in targets:
+            self._pending_shootdowns[k].append((tlbs[k], vpns))
+            self.vm.vcpus[k].interrupts.ipi(VECTOR_TLB_SHOOTDOWN)
+        if otr.ACTIVE is not None and targets:
+            otr.ACTIVE.emit(
+                EventKind.TLB_SHOOTDOWN,
+                initiator=initiator,
+                targets=targets,
+                n_vpns=int(vpns.size),
+            )
+            otr.ACTIVE.metrics.inc("tlb.shootdowns")
+            otr.ACTIVE.metrics.inc("tlb.shootdown_ipis", len(targets))
+        return len(targets)
+
+    def tlb_flush_all(self, process: Process) -> int:
+        """Flush the process's translations from every vCPU's TLB;
+        returns the number of remote vCPUs IPI'd."""
+        initiator = self.scheduler.vcpu_of(process)
+        tlbs = process.space.tlbs
+        tlbs[initiator].flush()
+        targets = [
+            k
+            for k in range(len(tlbs))
+            if k != initiator and tlbs[k].n_cached > 0
+        ]
+        for k in targets:
+            self._pending_shootdowns[k].append((tlbs[k], None))
+            self.vm.vcpus[k].interrupts.ipi(VECTOR_TLB_SHOOTDOWN)
+        if otr.ACTIVE is not None and targets:
+            otr.ACTIVE.emit(
+                EventKind.TLB_SHOOTDOWN,
+                initiator=initiator,
+                targets=targets,
+                n_vpns=-1,
+            )
+            otr.ACTIVE.metrics.inc("tlb.shootdowns")
+            otr.ACTIVE.metrics.inc("tlb.shootdown_ipis", len(targets))
+        return len(targets)
+
+    # ------------------------------------------------------------------
     # services
     # ------------------------------------------------------------------
     def create_uffd(self, process: Process) -> UserFaultFd:
-        return UserFaultFd(self.clock, self.costs, process)
+        return UserFaultFd(self.clock, self.costs, process, kernel=self)
 
     def add_access_listener(self, listener: AccessListener) -> None:
         self._access_listeners.append(listener)

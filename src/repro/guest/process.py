@@ -42,12 +42,33 @@ class Vma:
 
 
 class AddressSpace:
-    """Virtual address space with VMA bookkeeping."""
+    """Virtual address space with VMA bookkeeping.
 
-    def __init__(self, n_pages: int) -> None:
+    SMP: translations for the same address space may be cached by every
+    vCPU's TLB, so the space owns one :class:`~repro.hw.tlb.Tlb` per vCPU
+    (``tlbs[k]`` belongs to vCPU ``k``).  ``tlb`` aliases ``tlbs[0]`` for
+    the single-vCPU configuration.
+    """
+
+    def __init__(self, n_pages: int, n_vcpus: int = 1) -> None:
         self.pt = PageTable(n_pages)
-        self.tlb = Tlb(n_pages)
+        self.tlbs = [Tlb(n_pages, vcpu_id=i) for i in range(n_vcpus)]
         self.vmas: list[Vma] = []
+
+    @property
+    def tlb(self) -> Tlb:
+        """vCPU 0's TLB — single-vCPU compatibility alias."""
+        return self.tlbs[0]
+
+    def invalidate_all(self, vpns) -> None:
+        """Invalidate ``vpns`` in every vCPU's TLB, without IPI costs.
+
+        This is the zero-cost variant used by the oracle tracker; real
+        trackers go through the guest kernel's TLB-shootdown path, which
+        charges cross-vCPU IPIs.
+        """
+        for tlb in self.tlbs:
+            tlb.invalidate(vpns)
 
     @property
     def n_pages(self) -> int:

@@ -35,9 +35,12 @@ __all__ = ["ProcFs"]
 class ProcFs:
     """The /proc view over a set of guest processes."""
 
-    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+    def __init__(self, clock: SimClock, costs: CostModel, kernel=None) -> None:
         self.clock = clock
         self.costs = costs
+        #: Owning guest kernel; when set, TLB invalidations use its
+        #: SMP-correct shootdown path instead of touching only one TLB.
+        self.kernel = kernel
 
     def clear_refs(self, process: Process) -> int:
         """``echo 4 > /proc/PID/clear_refs``; returns pages affected."""
@@ -48,7 +51,10 @@ class ProcFs:
         # their (stricter) protection.
         not_ufd = mapped[~pt.flag_mask(mapped, PTE_UFD_WP)]
         pt.clear_flags(not_ufd, PTE_WRITABLE)
-        process.space.tlb.flush()
+        if self.kernel is not None:
+            self.kernel.tlb_flush_all(process)
+        else:
+            process.space.tlb.flush()
         n = max(int(process.space.n_pages), 1)
         self.clock.charge(self.costs.clear_refs_us(n), World.TRACKER, EV_CLEAR_REFS)
         self.clock.count_only(EV_TLB_FLUSH)

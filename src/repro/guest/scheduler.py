@@ -39,16 +39,59 @@ class Scheduler:
         clock: SimClock,
         costs: CostModel,
         switch_interval_us: float = DEFAULT_SWITCH_INTERVAL_US,
+        n_vcpus: int = 1,
     ) -> None:
         if switch_interval_us <= 0:
             raise ConfigurationError("switch_interval_us must be > 0")
+        if n_vcpus <= 0:
+            raise ConfigurationError("n_vcpus must be > 0")
         self.clock = clock
         self.costs = costs
         self.switch_interval_us = switch_interval_us
+        self.n_vcpus = n_vcpus
         self._accumulated: dict[int, float] = {}
         self._on_sched_out: list[SchedHook] = []
         self._on_sched_in: list[SchedHook] = []
         self.n_switches = 0
+        #: pid -> vCPU the process currently runs on.  First touch assigns
+        #: round-robin (deterministic in spawn order); each quantum expiry
+        #: then rotates the process to the next vCPU, giving a fixed,
+        #: reproducible interleaving across vCPUs.
+        self._affinity: dict[int, int] = {}
+        self._next_vcpu = 0
+        self.n_migrations = 0
+
+    # ------------------------------------------------------------------
+    # vCPU affinity (SMP)
+    # ------------------------------------------------------------------
+    def vcpu_of(self, process: Process) -> int:
+        """The vCPU ``process`` currently runs on (first touch assigns)."""
+        vcpu_id = self._affinity.get(process.pid)
+        if vcpu_id is None:
+            vcpu_id = self._next_vcpu
+            self._next_vcpu = (self._next_vcpu + 1) % self.n_vcpus
+            self._affinity[process.pid] = vcpu_id
+        return vcpu_id
+
+    def set_affinity(self, process: Process, vcpu_id: int) -> None:
+        """Pin ``process`` to ``vcpu_id`` (no context-switch cost)."""
+        if not 0 <= vcpu_id < self.n_vcpus:
+            raise ConfigurationError(
+                f"vcpu_id {vcpu_id} out of range (n_vcpus={self.n_vcpus})"
+            )
+        self._affinity[process.pid] = vcpu_id
+
+    def migrate(self, process: Process, vcpu_id: int) -> None:
+        """Move ``process`` to ``vcpu_id`` via a full deschedule/schedule
+        pair, so tracker sched hooks observe the migration."""
+        if not 0 <= vcpu_id < self.n_vcpus:
+            raise ConfigurationError(
+                f"vcpu_id {vcpu_id} out of range (n_vcpus={self.n_vcpus})"
+            )
+        self.n_migrations += 1
+        self.deschedule(process)
+        self._affinity[process.pid] = vcpu_id
+        self.schedule(process)
 
     # ------------------------------------------------------------------
     def add_sched_out_hook(self, hook: SchedHook) -> None:
@@ -80,10 +123,20 @@ class Scheduler:
         return switches
 
     def switch(self, process: Process) -> None:
-        """One schedule-out / schedule-in pair for ``process``."""
+        """One schedule-out / schedule-in pair for ``process``.
+
+        SMP: the quantum expiry also rotates the process to the next vCPU
+        (deterministic round-robin interleaving).  The rotation happens
+        *between* the out and in halves, so sched-out hooks observe the
+        departing vCPU and sched-in hooks the arriving one — exactly the
+        window in which the OoH module must move its logging state.
+        """
         self.n_switches += 1
         self.clock.count_only(EV_SCHED_SWITCH)
         self.deschedule(process)
+        if self.n_vcpus > 1:
+            cur = self.vcpu_of(process)
+            self._affinity[process.pid] = (cur + 1) % self.n_vcpus
         self.schedule(process)
 
     def deschedule(self, process: Process) -> None:
@@ -110,3 +163,4 @@ class Scheduler:
 
     def reset(self, process: Process) -> None:
         self._accumulated.pop(process.pid, None)
+        self._affinity.pop(process.pid, None)

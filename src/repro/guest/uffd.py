@@ -48,12 +48,22 @@ class UfdMode(enum.Flag):
 class UserFaultFd:
     """One userfaultfd object bound to a process."""
 
-    def __init__(self, clock: SimClock, costs: CostModel, process: Process) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel,
+        process: Process,
+        kernel=None,
+    ) -> None:
         if process.uffd is not None:
             raise TrackingError(f"process {process.pid} already has a userfaultfd")
         self.clock = clock
         self.costs = costs
         self.process = process
+        #: Owning guest kernel; when set, arming write protection uses the
+        #: SMP-correct TLB-shootdown path (every vCPU may cache a stale
+        #: writable translation).
+        self.kernel = kernel
         self.mode = UfdMode(0)
         self._registered = np.zeros(process.space.n_pages, dtype=bool)
         self._dirty: list[np.ndarray] = []
@@ -86,7 +96,10 @@ class UserFaultFd:
         armed = vpns[present]
         pt.set_flags(armed, PTE_UFD_WP)
         pt.clear_flags(armed, PTE_WRITABLE)
-        self.process.space.tlb.invalidate(armed)
+        if self.kernel is not None:
+            self.kernel.tlb_shootdown(self.process, armed)
+        else:
+            self.process.space.tlb.invalidate(armed)
         self.clock.charge(
             self.costs.ufd_write_protect_us(max(int(vpns.size), 1)),
             World.TRACKER,

@@ -73,8 +73,8 @@ class Vcpu:
         self.costs = costs
         self.mode = CpuMode.VMX_NON_ROOT  # guest running by default
         self.vmcs = vm.Vmcs(name=f"vmcs{vcpu_id}")
-        self.pml = PmlCircuit(self.vmcs, capacity=pml_capacity)
-        self.interrupts = InterruptController(clock, costs)
+        self.pml = PmlCircuit(self.vmcs, capacity=pml_capacity, vcpu_id=vcpu_id)
+        self.interrupts = InterruptController(clock, costs, vcpu_id=vcpu_id)
         self.ept: Ept | None = None  # set by the owning VM
         self._exit_handlers: dict[ExitReason, ExitHandler] = {}
         self.n_vmexits = 0
@@ -106,8 +106,13 @@ class Vcpu:
             # Emitted exactly when the metric counter moves, so "vmexit
             # events in the trace == vmexit counts in the metrics" is a
             # checkable invariant, not a coincidence.
-            otr.ACTIVE.emit(EventKind.VMEXIT, reason=reason.value)
+            otr.ACTIVE.emit(
+                EventKind.VMEXIT, reason=reason.value, vcpu_id=self.vcpu_id
+            )
             otr.ACTIVE.metrics.inc(f"vmexit.{reason.value}")
+            # Per-vCPU dimension (prefix deliberately NOT "vmexit." — the
+            # metrics==trace invariant matches that prefix exactly).
+            otr.ACTIVE.metrics.inc(f"vcpu.{self.vcpu_id}.vmexit.{reason.value}")
         self.clock.charge(
             self.costs.params.vmexit_roundtrip_us,
             World.HYPERVISOR,

@@ -26,13 +26,19 @@ from repro.faults.plan import FaultSite
 from repro.obs import trace as otr
 from repro.obs.events import EventKind
 
-__all__ = ["VECTOR_OOH_PML_FULL", "InterruptController"]
+__all__ = [
+    "VECTOR_OOH_PML_FULL",
+    "VECTOR_TLB_SHOOTDOWN",
+    "InterruptController",
+]
 
 #: Vector the OoH module registers for the EPML buffer-full self-IPI.
 VECTOR_OOH_PML_FULL = 0xEC
 #: Vector for SPP-violation notifications injected by the hypervisor
 #: (OoH-SPP extension, paper §III-D).
 VECTOR_OOH_SPP_VIOLATION = 0xED
+#: Vector the guest kernel registers for cross-vCPU TLB shootdowns (SMP).
+VECTOR_TLB_SHOOTDOWN = 0xEE
 
 Handler = Callable[[int], None]
 
@@ -40,9 +46,10 @@ Handler = Callable[[int], None]
 class InterruptController:
     """Per-vCPU interrupt routing with posted-interrupt support."""
 
-    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+    def __init__(self, clock: SimClock, costs: CostModel, vcpu_id: int = 0) -> None:
         self._clock = clock
         self._costs = costs
+        self.vcpu_id = vcpu_id
         self._handlers: dict[int, Handler] = {}
         self.n_posted = 0
         self.n_virtual = 0
@@ -67,7 +74,10 @@ class InterruptController:
                 self.n_lost += 1
                 if otr.ACTIVE is not None:
                     otr.ACTIVE.emit(
-                        EventKind.SELF_IPI, vector=vector, outcome="lost"
+                        EventKind.SELF_IPI,
+                        vector=vector,
+                        outcome="lost",
+                        vcpu_id=self.vcpu_id,
                     )
                     otr.ACTIVE.metrics.inc("self_ipi.lost")
                 return False
@@ -76,12 +86,26 @@ class InterruptController:
                 self._delayed.append(vector)
                 if otr.ACTIVE is not None:
                     otr.ACTIVE.emit(
-                        EventKind.SELF_IPI, vector=vector, outcome="delayed"
+                        EventKind.SELF_IPI,
+                        vector=vector,
+                        outcome="delayed",
+                        vcpu_id=self.vcpu_id,
                     )
                     otr.ACTIVE.metrics.inc("self_ipi.delayed")
                 return False
         if self._delayed:
             self.flush_delayed()
+        return self._deliver(vector)
+
+    def ipi(self, vector: int) -> bool:
+        """Reliable inter-processor interrupt (TLB shootdowns, SMP).
+
+        Real shootdown IPIs are delivered with guaranteed semantics (the
+        initiating CPU spins until every target acknowledges), so this
+        path is deliberately *not* subject to the lost/delayed self-IPI
+        fault injection that models EPML's best-effort posted interrupts.
+        """
+        self.n_posted += 1
         return self._deliver(vector)
 
     def flush_delayed(self) -> int:
@@ -98,7 +122,12 @@ class InterruptController:
         handler = self._handlers.get(vector)
         if otr.ACTIVE is not None:
             outcome = "delivered" if handler is not None else "unhandled"
-            otr.ACTIVE.emit(EventKind.SELF_IPI, vector=vector, outcome=outcome)
+            otr.ACTIVE.emit(
+                EventKind.SELF_IPI,
+                vector=vector,
+                outcome=outcome,
+                vcpu_id=self.vcpu_id,
+            )
             otr.ACTIVE.metrics.inc(f"self_ipi.{outcome}")
         if handler is None:
             return False

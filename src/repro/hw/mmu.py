@@ -126,12 +126,18 @@ class Mmu:
         vpns: np.ndarray | list[int],
         write_mask: np.ndarray | bool,
         handlers: FaultHandlers,
+        pml: PmlCircuit | None = None,
     ) -> MmuResult:
         """Resolve one access batch against ``pt``.
 
         ``write_mask`` may be a scalar bool (all reads / all writes) or a
-        per-access boolean array.
+        per-access boolean array.  ``pml`` selects the logging circuit of
+        the vCPU executing the batch (SMP: each vCPU logs to its own
+        buffers); it defaults to the circuit this MMU was built with
+        (vCPU 0 — the single-vCPU configuration).
         """
+        if pml is None:
+            pml = self.pml
         v = np.asarray(vpns, dtype=np.int64).ravel()
         if np.isscalar(write_mask) or np.ndim(write_mask) == 0:
             w = np.full(v.shape, bool(write_mask))
@@ -148,19 +154,23 @@ class Mmu:
             # ground truth the trace-invariant tests check collects
             # against (dirty reported ⊆ pages with a preceding write).
             s = otr.ACTIVE
-            fields = {"n_writes": res.n_writes, "n_accesses": res.n_accesses}
+            fields = {
+                "n_writes": res.n_writes,
+                "n_accesses": res.n_accesses,
+                "vcpu_id": pml.vcpu_id,
+            }
             if s.detail:
                 fields["vpns"] = [int(x) for x in np.unique(v[w])]
             s.emit(EventKind.WRITE, **fields)
             s.metrics.inc("mmu.write_batches")
             s.metrics.inc("mmu.writes", res.n_writes)
         if not self.fused:
-            return self._access_multipass(pt, tlb, v, w, handlers, res)
+            return self._access_multipass(pt, tlb, v, w, handlers, res, pml)
         if self._try_fast_path(pt, tlb, v, w):
             self.n_fast_batches += 1
             self.n_fast_accesses += res.n_accesses
             return res
-        return self._access_fused(pt, tlb, v, w, handlers, res)
+        return self._access_fused(pt, tlb, v, w, handlers, res, pml)
 
     # ------------------------------------------------------------------
     # TLB fast path
@@ -209,7 +219,14 @@ class Mmu:
     # fused walk (default)
     # ------------------------------------------------------------------
     def _access_fused(
-        self, pt: PageTable, tlb: Tlb, v, w, handlers: FaultHandlers, res: MmuResult
+        self,
+        pt: PageTable,
+        tlb: Tlb,
+        v,
+        w,
+        handlers: FaultHandlers,
+        res: MmuResult,
+        pml: PmlCircuit,
     ) -> MmuResult:
         if int(v.min()) < 0 or int(v.max()) >= pt.n_pages:
             raise InvalidAddressError("VPN out of address space")
@@ -259,7 +276,7 @@ class Mmu:
             newf = np.where(uniq_w, newf | PTE_DIRTY, newf)
             pt.flags[uniq_v] = newf
             # EPML guest-level logging: GVAs whose PTE dirty bit was set.
-            self.pml.log_gvas(res.newly_pte_dirty)
+            pml.log_gvas(res.newly_pte_dirty)
         else:
             pt.flags[uniq_v] = newf
         gpfns = pt.gpfn[uniq_v]
@@ -267,7 +284,7 @@ class Mmu:
             raise InvalidAddressError("translate of unmapped VPN")
         res.newly_ept_dirty = self.ept.touch(gpfns, uniq_w)
         # Hypervisor-level PML logging: GPAs whose EPT dirty bit was set.
-        self.pml.log_gpas(res.newly_ept_dirty)
+        pml.log_gpas(res.newly_ept_dirty)
 
         # -- 5. content mutation + TLB -----------------------------------
         if uniq_w.any():
@@ -280,7 +297,14 @@ class Mmu:
     # original multipass walk (reference; fused=False)
     # ------------------------------------------------------------------
     def _access_multipass(
-        self, pt: PageTable, tlb: Tlb, v, w, handlers: FaultHandlers, res: MmuResult
+        self,
+        pt: PageTable,
+        tlb: Tlb,
+        v,
+        w,
+        handlers: FaultHandlers,
+        res: MmuResult,
+        pml: PmlCircuit,
     ) -> MmuResult:
         # -- 1. missing pages -------------------------------------------
         present = pt.present_mask(v)
@@ -319,7 +343,7 @@ class Mmu:
             res.newly_pte_dirty = wv_unique[was_clean]
             pt.set_flags(wv_unique, PTE_DIRTY)
             # EPML guest-level logging: GVAs whose PTE dirty bit was set.
-            self.pml.log_gvas(res.newly_pte_dirty)
+            pml.log_gvas(res.newly_pte_dirty)
 
         # -- 4. EPT accessed/dirty bits ----------------------------------
         uniq_v, inv = np.unique(v, return_inverse=True)
@@ -328,7 +352,7 @@ class Mmu:
         gpfns = pt.translate(uniq_v)
         res.newly_ept_dirty = self.ept.touch(gpfns, uniq_w)
         # Hypervisor-level PML logging: GPAs whose EPT dirty bit was set.
-        self.pml.log_gpas(res.newly_ept_dirty)
+        pml.log_gpas(res.newly_ept_dirty)
 
         # -- 5. content mutation + TLB -----------------------------------
         if uniq_w.any():

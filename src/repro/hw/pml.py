@@ -83,9 +83,16 @@ class PmlCircuit:
     control it exactly as on real hardware.
     """
 
-    def __init__(self, vmcs_obj: vm.Vmcs, capacity: int = PML_BUFFER_ENTRIES) -> None:
+    def __init__(
+        self,
+        vmcs_obj: vm.Vmcs,
+        capacity: int = PML_BUFFER_ENTRIES,
+        vcpu_id: int = 0,
+    ) -> None:
         self.vmcs = vmcs_obj
         self.capacity = capacity
+        #: Owning vCPU (SMP: one circuit per vCPU; tags trace events).
+        self.vcpu_id = vcpu_id
         self.hyp_buffer: PmlBuffer | None = None
         self.guest_buffer: PmlBuffer | None = None
         #: Hypervisor's PML-full vmexit handler (drains hyp buffer).
@@ -145,7 +152,11 @@ class PmlCircuit:
             self.n_hyp_injected_drops += dropped
             if dropped and otr.ACTIVE is not None:
                 otr.ACTIVE.emit(
-                    EventKind.PML_DROP, level="hyp", cause="injected", n=dropped
+                    EventKind.PML_DROP,
+                    level="hyp",
+                    cause="injected",
+                    n=dropped,
+                    vcpu_id=self.vcpu_id,
                 )
                 otr.ACTIVE.metrics.inc("pml.hyp.injected_drops", dropped)
             values = kept
@@ -166,7 +177,11 @@ class PmlCircuit:
             self.n_guest_injected_drops += dropped
             if dropped and otr.ACTIVE is not None:
                 otr.ACTIVE.emit(
-                    EventKind.PML_DROP, level="guest", cause="injected", n=dropped
+                    EventKind.PML_DROP,
+                    level="guest",
+                    cause="injected",
+                    n=dropped,
+                    vcpu_id=self.vcpu_id,
                 )
                 otr.ACTIVE.metrics.inc("pml.guest.injected_drops", dropped)
             values = kept
@@ -199,8 +214,10 @@ class PmlCircuit:
                 level="hyp",
                 occupancy=self.hyp_buffer.n_logged,
                 handled=self.on_hyp_full is not None,
+                vcpu_id=self.vcpu_id,
             )
             otr.ACTIVE.metrics.inc("pml.hyp.full_events")
+            otr.ACTIVE.metrics.inc(f"pml.vcpu.{self.vcpu_id}.hyp.full_events")
             otr.ACTIVE.metrics.observe(
                 "pml.occupancy_at_flush", self.hyp_buffer.n_logged
             )
@@ -213,6 +230,7 @@ class PmlCircuit:
                     level="hyp",
                     cause="no_handler",
                     n=int(len(batch)),
+                    vcpu_id=self.vcpu_id,
                 )
                 otr.ACTIVE.metrics.inc("pml.hyp.dropped", int(len(batch)))
         else:
@@ -227,8 +245,10 @@ class PmlCircuit:
                 level="guest",
                 occupancy=self.guest_buffer.n_logged,
                 handled=self.on_guest_full is not None,
+                vcpu_id=self.vcpu_id,
             )
             otr.ACTIVE.metrics.inc("pml.guest.full_events")
+            otr.ACTIVE.metrics.inc(f"pml.vcpu.{self.vcpu_id}.guest.full_events")
             otr.ACTIVE.metrics.observe(
                 "pml.occupancy_at_flush", self.guest_buffer.n_logged
             )
@@ -241,6 +261,7 @@ class PmlCircuit:
                     level="guest",
                     cause="no_handler",
                     n=int(len(batch)),
+                    vcpu_id=self.vcpu_id,
                 )
                 otr.ACTIVE.metrics.inc("pml.guest.dropped", int(len(batch)))
         else:

@@ -26,10 +26,16 @@ __all__ = ["Tlb"]
 
 
 class Tlb:
-    """Cached-translation bitmap for one address space."""
+    """Cached-translation bitmap for one address space on one vCPU.
 
-    def __init__(self, n_pages: int) -> None:
+    SMP: each vCPU has its own TLB, so an address space holds one ``Tlb``
+    per vCPU of the VM; ``vcpu_id`` tags trace events and lets the guest
+    kernel target cross-vCPU shootdowns at the right structure.
+    """
+
+    def __init__(self, n_pages: int, vcpu_id: int = 0) -> None:
         self._cached = np.zeros(n_pages, dtype=bool)
+        self.vcpu_id = vcpu_id
         self.n_flushes = 0
         self.n_fills = 0
         self.n_invalidations = 0
@@ -51,6 +57,12 @@ class Tlb:
         """
         return bool(self._cached[vpns].all())
 
+    def cached_any(self, vpns: np.ndarray) -> bool:
+        """True when at least one VPN has a cached translation (shootdown
+        filter: a remote vCPU caching nothing needs no IPI)."""
+        v = np.asarray(vpns, dtype=np.int64).ravel()
+        return bool(self._cached[v].any())
+
     def invalidate(self, vpns: np.ndarray) -> None:
         v = np.asarray(vpns, dtype=np.int64).ravel()
         self._cached[v] = False
@@ -58,7 +70,11 @@ class Tlb:
 
     def flush(self) -> None:
         if otr.ACTIVE is not None:
-            otr.ACTIVE.emit(EventKind.TLB_FLUSH, n_cached=int(self._cached.sum()))
+            otr.ACTIVE.emit(
+                EventKind.TLB_FLUSH,
+                n_cached=int(self._cached.sum()),
+                vcpu_id=self.vcpu_id,
+            )
             otr.ACTIVE.metrics.inc("tlb.flushes")
         self._cached[:] = False
         self.n_flushes += 1

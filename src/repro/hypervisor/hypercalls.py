@@ -67,12 +67,18 @@ class HypercallTable:
         self._handlers[nr] = handler
 
     def dispatch(self, nr: int, args: tuple) -> object:
+        # args[0] is the issuing vCPU by convention (hypervisor handlers
+        # all take it first); traced so SMP runs show which vCPU called.
+        vcpu_id = getattr(args[0], "vcpu_id", 0) if args else 0
         if finj.ACTIVE is not None and finj.ACTIVE.should_fire(
             FaultSite.HYPERCALL_TRANSIENT
         ):
             if otr.ACTIVE is not None:
                 otr.ACTIVE.emit(
-                    EventKind.HYPERCALL, nr=f"{nr:#x}", outcome="eagain"
+                    EventKind.HYPERCALL,
+                    nr=f"{nr:#x}",
+                    outcome="eagain",
+                    vcpu_id=vcpu_id,
                 )
                 otr.ACTIVE.metrics.inc(f"hypercall.{nr:#x}.eagain")
             # The guest already paid the hypercall entry cost; the call
@@ -84,7 +90,12 @@ class HypercallTable:
         handler = self._handlers.get(nr)
         if otr.ACTIVE is not None:
             outcome = "dispatched" if handler is not None else "unknown"
-            otr.ACTIVE.emit(EventKind.HYPERCALL, nr=f"{nr:#x}", outcome=outcome)
+            otr.ACTIVE.emit(
+                EventKind.HYPERCALL,
+                nr=f"{nr:#x}",
+                outcome=outcome,
+                vcpu_id=vcpu_id,
+            )
             otr.ACTIVE.metrics.inc(f"hypercall.{nr:#x}.{outcome}")
         if handler is None:
             raise HypercallError(f"unknown hypercall {nr:#x}")

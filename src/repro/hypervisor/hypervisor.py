@@ -55,7 +55,11 @@ class Hypervisor:
     # VM lifecycle
     # ------------------------------------------------------------------
     def create_vm(
-        self, name: str, mem_mb: float, pml_buffer_entries: int = 512
+        self,
+        name: str,
+        mem_mb: float,
+        pml_buffer_entries: int = 512,
+        n_vcpus: int = 1,
     ) -> Vm:
         if name in self.vms:
             raise ConfigurationError(f"VM {name!r} already exists")
@@ -66,13 +70,15 @@ class Hypervisor:
             clock=self.clock,
             costs=self.costs,
             pml_buffer_entries=pml_buffer_entries,
+            n_vcpus=n_vcpus,
         )
-        vm.vcpu.install_exit_handler(ExitReason.PML_FULL, self._on_pml_full)
-        vm.vcpu.install_exit_handler(ExitReason.HYPERCALL, self._on_hypercall)
-        vm.vcpu.install_exit_handler(
-            ExitReason.SPP_VIOLATION, self._on_spp_violation
-        )
-        vm.vcpu.pml.on_hyp_full = self._make_pml_full_trampoline(vm)
+        for vc in vm.vcpus:
+            vc.install_exit_handler(ExitReason.PML_FULL, self._on_pml_full)
+            vc.install_exit_handler(ExitReason.HYPERCALL, self._on_hypercall)
+            vc.install_exit_handler(
+                ExitReason.SPP_VIOLATION, self._on_spp_violation
+            )
+            vc.pml.on_hyp_full = self._make_pml_full_trampoline(vc)
         self.vms[name] = vm
         return vm
 
@@ -83,18 +89,18 @@ class Hypervisor:
 
     def _vm_of(self, vcpu: Vcpu) -> Vm:
         for vm in self.vms.values():
-            if vm.vcpu is vcpu:
+            if any(vc is vcpu for vc in vm.vcpus):
                 return vm
         raise ConfigurationError("vCPU does not belong to any VM")
 
     # ------------------------------------------------------------------
     # PML-full vmexit path
     # ------------------------------------------------------------------
-    def _make_pml_full_trampoline(self, vm: Vm):
+    def _make_pml_full_trampoline(self, vcpu: Vcpu):
         def trampoline(entries: np.ndarray) -> None:
-            # The CPU raises the vmexit; the handler receives the drained
-            # buffer as payload.
-            vm.vcpu.vmexit(ExitReason.PML_FULL, entries)
+            # The CPU raises the vmexit *on the vCPU whose buffer filled*;
+            # the handler receives the drained buffer as payload.
+            vcpu.vmexit(ExitReason.PML_FULL, entries)
 
         return trampoline
 
@@ -102,16 +108,22 @@ class Hypervisor:
         vm = self._vm_of(vcpu)
         entries = np.asarray(payload, dtype=np.uint64)
         self.clock.count_only(EV_PML_FULL_VMEXIT)
-        self._deliver_gpas(vm, entries)
+        self._deliver_gpas(vm, entries, source=vcpu.vcpu_id)
 
-    def _deliver_gpas(self, vm: Vm, entries: np.ndarray) -> None:
-        """Copy harvested GPAs to their consumer(s), charging the copy."""
+    def _deliver_gpas(
+        self, vm: Vm, entries: np.ndarray, source: int | None = None
+    ) -> None:
+        """Copy harvested GPAs to their consumer(s), charging the copy.
+
+        ``source`` is the vCPU id whose PML buffer produced the entries
+        (ring-buffer per-source accounting for SMP merge assertions).
+        """
         if entries.size == 0:
             return
         if vm.enabled_by_guest and vm.spml_ring is not None:
             us = self.costs.rb_copy_us(int(entries.size), vm.mem_pages)
             self.clock.charge(us, World.HYPERVISOR, EV_RB_COPY, int(entries.size))
-            vm.spml_ring.push(entries)
+            vm.spml_ring.push(entries, source=source)
         if vm.enabled_by_hyp:
             vm.hyp_dirty_log.append(entries.copy())
 
@@ -121,21 +133,28 @@ class Hypervisor:
     def enable_vm_dirty_logging(self, vm: Vm) -> None:
         """Start whole-VM dirty logging (pre-copy rounds)."""
         vm.enabled_by_hyp = True
-        if vm.vcpu.pml.hyp_buffer is None:
-            vm.vcpu.pml.configure_hyp_buffer()
-        vm.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 1)
+        for vc in vm.vcpus:
+            if vc.pml.hyp_buffer is None:
+                vc.pml.configure_hyp_buffer()
+            vc.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 1)
 
     def disable_vm_dirty_logging(self, vm: Vm) -> None:
         """Stop the hypervisor's use; PML stays on if the guest needs it
         (coordination rule, paper §IV-C item 3)."""
         vm.enabled_by_hyp = False
         if not vm.enabled_by_guest:
-            vm.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
+            for vc in vm.vcpus:
+                vc.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
 
     def harvest_vm_dirty(self, vm: Vm) -> np.ndarray:
-        """Drain residual PML buffer + accumulated log; re-arm dirty bits."""
-        residual = vm.vcpu.pml.drain_hyp()
-        self._deliver_gpas(vm, residual)
+        """Drain residual PML buffers + accumulated log; re-arm dirty bits.
+
+        SMP: residual buffers drain in ascending vCPU id — a fixed merge
+        order, so harvests are deterministic for a given write history.
+        """
+        for vc in vm.vcpus:
+            residual = vc.pml.drain_hyp()
+            self._deliver_gpas(vm, residual, source=vc.vcpu_id)
         dirty = np.unique(vm.drain_hyp_dirty_log())
         if dirty.size:
             vm.ept.clear_dirty(dirty.astype(np.int64))
@@ -173,8 +192,9 @@ class Hypervisor:
         vm = self._vm_of(vcpu)
         if vm.enabled_by_guest:
             raise HypercallError("SPML already initialised for this VM")
-        if vm.vcpu.pml.hyp_buffer is None:
-            vm.vcpu.pml.configure_hyp_buffer()
+        for vc in vm.vcpus:
+            if vc.pml.hyp_buffer is None:
+                vc.pml.configure_hyp_buffer()
         vm.spml_ring = RingBuffer(
             int(ring_capacity) if ring_capacity else self.ring_capacity
         )
@@ -190,49 +210,63 @@ class Hypervisor:
         vm = self._vm_of(vcpu)
         vm.enabled_by_guest = False
         if not vm.enabled_by_hyp:
-            vm.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
+            for vc in vm.vcpus:
+                vc.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
         vm.spml_ring = None
 
     def _hc_enable_logging(self, vcpu: Vcpu) -> None:
-        """Tracked process scheduled in: resume logging."""
+        """Tracked process scheduled in: resume logging.
+
+        Acts on the *issuing* vCPU — the one the tracked process was just
+        scheduled in on; the other vCPUs run untracked work and need no
+        logging (paper §IV-C: logging follows the tracked process).
+        """
         vm = self._vm_of(vcpu)
         if not vm.enabled_by_guest:
             raise HypercallError("enable_logging without SPML init")
-        vm.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 1)
+        vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 1)
 
     def _hc_disable_logging(self, vcpu: Vcpu) -> None:
-        """Tracked process scheduled out: drain buffer, pause logging."""
+        """Tracked process scheduled out: drain the issuing vCPU's buffer,
+        pause its logging."""
         vm = self._vm_of(vcpu)
         if not vm.enabled_by_guest:
             raise HypercallError("disable_logging without SPML init")
-        entries = vm.vcpu.pml.drain_hyp()
-        self._deliver_gpas(vm, entries)
+        entries = vcpu.pml.drain_hyp()
+        self._deliver_gpas(vm, entries, source=vcpu.vcpu_id)
         if not vm.enabled_by_hyp:
-            vm.vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
+            vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_PML, 0)
 
     # -- EPML -----------------------------------------------------------
     def _hc_init_pml_shadow(self, vcpu: Vcpu) -> None:
         """EPML init: VMCS shadowing + guest-PML field exposure.
 
         This is EPML's only hypercall (paper §IV-D); afterwards the guest
-        drives logging itself with vmwrite on the shadow VMCS.
+        drives logging itself with vmwrite on the shadow VMCS.  SMP: one
+        hypercall configures shadowing on every vCPU of the VM (the OoH
+        module needs a guest-level buffer wherever the tracked process may
+        run), mirroring a for_each_vcpu loop in the real Xen patch.
         """
-        if vcpu.vmcs.link is None:
-            shadow = vmcsf.Vmcs(name=f"{vcpu.vmcs.name}-shadow", is_shadow=True)
-            vcpu.vmcs.link_shadow(shadow)
-        vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_VMCS_SHADOWING, 1)
-        vcpu.vmcs.expose_to_guest(
-            {
-                vmcsf.F_CTRL_ENABLE_GUEST_PML,
-                vmcsf.F_GUEST_PML_ADDRESS,
-                vmcsf.F_GUEST_PML_INDEX,
-            }
-        )
+        vm = self._vm_of(vcpu)
+        for vc in vm.vcpus:
+            if vc.vmcs.link is None:
+                shadow = vmcsf.Vmcs(name=f"{vc.vmcs.name}-shadow", is_shadow=True)
+                vc.vmcs.link_shadow(shadow)
+            vc.vmcs.write(vmcsf.F_CTRL_ENABLE_VMCS_SHADOWING, 1)
+            vc.vmcs.expose_to_guest(
+                {
+                    vmcsf.F_CTRL_ENABLE_GUEST_PML,
+                    vmcsf.F_GUEST_PML_ADDRESS,
+                    vmcsf.F_GUEST_PML_INDEX,
+                }
+            )
 
     def _hc_deact_pml_shadow(self, vcpu: Vcpu) -> None:
-        if vcpu.vmcs.link is not None:
-            vcpu.vmcs.link.write(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
-        vcpu.vmcs.write(vmcsf.F_CTRL_ENABLE_VMCS_SHADOWING, 0)
+        vm = self._vm_of(vcpu)
+        for vc in vm.vcpus:
+            if vc.vmcs.link is not None:
+                vc.vmcs.link.write(vmcsf.F_CTRL_ENABLE_GUEST_PML, 0)
+            vc.vmcs.write(vmcsf.F_CTRL_ENABLE_VMCS_SHADOWING, 0)
 
     # -- shared ----------------------------------------------------------
     def _hc_reset_dirty(self, vcpu: Vcpu, gpfns: np.ndarray) -> int:

@@ -105,7 +105,7 @@ class LiveMigration:
     ) -> np.ndarray:
         """Stop-and-copy page set, widened to *all* mapped pages if any
         PML-full vmexit was swallowed (the lost batch could hold anything)."""
-        lost = self.vm.vcpu.n_dropped_vmexits - vmexit_mark
+        lost = sum(vc.n_dropped_vmexits for vc in self.vm.vcpus) - vmexit_mark
         if lost > 0:
             report.lost_pml_vmexits = lost
             return np.nonzero(self.vm.ept.hpfn >= 0)[0]
@@ -125,7 +125,7 @@ class LiveMigration:
         report = MigrationReport()
         clock = self.hypervisor.clock
         start = clock.now_us
-        vmexit_mark = self.vm.vcpu.n_dropped_vmexits
+        vmexit_mark = sum(vc.n_dropped_vmexits for vc in self.vm.vcpus)
 
         self.hypervisor.enable_vm_dirty_logging(self.vm)
         try:

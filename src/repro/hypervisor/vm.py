@@ -1,7 +1,11 @@
-"""A virtual machine (domain): guest memory, EPT, vCPU, MMU.
+"""A virtual machine (domain): guest memory, EPT, vCPUs, MMU.
 
-The evaluation setup gives each VM one dedicated vCPU (paper §VI-A), so a
-:class:`Vm` holds exactly one :class:`~repro.hw.cpu.Vcpu`.  The hypervisor
+The evaluation setup gives each VM one dedicated vCPU (paper §VI-A); the
+simulator additionally supports SMP guests (``n_vcpus > 1``) where each
+:class:`~repro.hw.cpu.Vcpu` owns its own VMCS, PML circuit, and interrupt
+controller, exactly as PML is architected per logical processor.  The
+single-vCPU configuration remains the default and is bit-identical to the
+pre-SMP simulator (``vm.vcpu`` aliases ``vm.vcpus[0]``).  The hypervisor
 populates guest physical memory eagerly at creation (host frames are
 allocated and EPT-mapped up front), which matches the experiments: the VM's
 RAM is fixed and the interesting dynamics are all *inside* the guest.
@@ -36,7 +40,8 @@ class Vm:
     clock: SimClock
     costs: CostModel
     pml_buffer_entries: int = 512
-    vcpu: Vcpu = field(init=False)
+    n_vcpus: int = 1
+    vcpus: list[Vcpu] = field(init=False)
     ept: Ept = field(init=False)
     mmu: Mmu = field(init=False)
     #: GPFN allocator handed to the guest kernel.
@@ -57,15 +62,24 @@ class Vm:
     def __post_init__(self) -> None:
         if self.mem_pages <= 0:
             raise ConfigurationError(f"mem_pages must be > 0: {self.mem_pages}")
+        if self.n_vcpus <= 0:
+            raise ConfigurationError(f"n_vcpus must be > 0: {self.n_vcpus}")
         hpfns = self.host_mem.alloc(self.mem_pages)
         self.ept = Ept(self.mem_pages)
         self.ept.map(np.arange(self.mem_pages), hpfns)
-        self.vcpu = Vcpu(
-            0, self.clock, self.costs, pml_capacity=self.pml_buffer_entries
-        )
-        self.vcpu.ept = self.ept
-        self.mmu = Mmu(self.ept, self.host_mem, self.vcpu.pml)
+        self.vcpus = [
+            Vcpu(i, self.clock, self.costs, pml_capacity=self.pml_buffer_entries)
+            for i in range(self.n_vcpus)
+        ]
+        for vc in self.vcpus:
+            vc.ept = self.ept
+        self.mmu = Mmu(self.ept, self.host_mem, self.vcpus[0].pml)
         self.guest_frames = FrameAllocator(self.mem_pages)
+
+    @property
+    def vcpu(self) -> Vcpu:
+        """The bootstrap processor (vCPU 0) — single-vCPU compatibility."""
+        return self.vcpus[0]
 
     @classmethod
     def mb(cls, mem_mb: float) -> int:

@@ -40,6 +40,8 @@ class EventKind(enum.Enum):
     FALLBACK_TRANSITION = "fallback_transition"
     #: A TLB was flushed whole [hw/tlb].
     TLB_FLUSH = "tlb_flush"
+    #: A cross-vCPU TLB shootdown IPI was sent (SMP) [guest/kernel].
+    TLB_SHOOTDOWN = "tlb_shootdown"
     #: A shared ring buffer lost its oldest entries [core/ringbuffer].
     RING_DROP = "ring_drop"
     #: One pre-copy round (or stop-and-copy) sent pages [hypervisor/migration].

@@ -361,7 +361,8 @@ class GcHeap:
             to_unmap = empty[present]
             if to_unmap.size:
                 freed_gpfns = self.process.space.pt.unmap(to_unmap)
-                self.process.space.tlb.invalidate(to_unmap)
+                # Unmapped translations must leave every vCPU's TLB.
+                self.kernel.tlb_shootdown(self.process, to_unmap)
                 self.kernel.vm.guest_frames.free(freed_gpfns)
             self._free_pages.extend(int(p) for p in empty)
         return int(ids.size)

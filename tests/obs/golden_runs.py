@@ -9,6 +9,12 @@ The prefault pass runs *inside* the session on purpose: demand paging and
 the initial dirty sweep are part of the frozen contract, and the WRITE
 events it emits make the written-set invariant checkable from the trace
 alone.
+
+The vCPU count is pinned explicitly (never inherited from ``REPRO_VCPUS``)
+so the frozen byte streams survive the SMP CI matrix leg.  The 2-vCPU
+variant migrates the process between rounds, exercising per-vCPU PML
+buffers, the EPML schedule hooks, and cross-vCPU TLB shootdowns in the
+frozen contract.
 """
 
 import numpy as np
@@ -18,14 +24,16 @@ from repro.experiments.harness import build_stack
 from repro.obs import trace as otr
 
 GOLDEN_TECHNIQUES = ("spml", "epml", "oracle")
+#: Techniques with a 2-vCPU golden variant (``<technique>-smp2.jsonl``).
+GOLDEN_SMP_TECHNIQUES = ("spml", "epml")
 N_PAGES = 128
 ROUNDS = 3
 SEED = 7
 
 
-def canonical_run(technique: str) -> otr.TraceSession:
+def canonical_run(technique: str, n_vcpus: int = 1) -> otr.TraceSession:
     """Run the frozen scenario for ``technique``; return its session."""
-    stack = build_stack(vm_mb=16, pml_buffer_entries=32)
+    stack = build_stack(vm_mb=16, pml_buffer_entries=32, n_vcpus=n_vcpus)
     proc = stack.kernel.spawn("app", n_pages=N_PAGES)
     proc.space.add_vma(N_PAGES)
     rng = np.random.default_rng(SEED)
@@ -34,9 +42,18 @@ def canonical_run(technique: str) -> otr.TraceSession:
         stack.kernel.access(proc, np.arange(N_PAGES), True)
         tracker = make_tracker(technique, stack.kernel, proc)
         tracker.start()
-        for _ in range(ROUNDS):
+        for r in range(ROUNDS):
+            if n_vcpus > 1:
+                # Bounce the process across vCPUs so every round logs
+                # into a different per-vCPU PML buffer.
+                stack.kernel.scheduler.migrate(proc, r % n_vcpus)
             vpns = rng.integers(0, N_PAGES, size=3 * N_PAGES // 4)
             stack.kernel.access(proc, vpns, True)
+            if n_vcpus > 1:
+                # Collect from a vCPU other than the writer: the dirty
+                # translations still sit in the writer's TLB, so EPML's
+                # re-arm must issue a genuine cross-vCPU shootdown.
+                stack.kernel.scheduler.migrate(proc, (r + 1) % n_vcpus)
             tracker.collect()
         tracker.stop()
     return session

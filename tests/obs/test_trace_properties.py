@@ -6,11 +6,15 @@ reproducible; each run is checked against three invariants that hold for
 *any* fault-free execution:
 
 1. every ``pml_full`` event is immediately followed by its consequence —
-   a ``pml_full`` vmexit (hypervisor level) or a self-IPI (guest level);
+   a ``pml_full`` vmexit (hypervisor level) or a self-IPI (guest level)
+   — *on the same vCPU* (PML buffers are per-logical-processor);
 2. every ``collect`` reports a VPN set that is a subset of the pages
    written (per preceding ``write`` events) since tracking started;
 3. the vmexit counters in the metrics registry agree exactly with the
    vmexit events in the trace, per exit reason.
+
+Runs randomly alternate between 1- and 2-vCPU VMs (with seeded random
+migrations) so the invariants are exercised across the SMP seams too.
 """
 
 import random
@@ -31,8 +35,10 @@ def _random_run(seed: int) -> otr.TraceSession:
     n_pages = py.choice([64, 96, 128, 192])
     rounds = py.randint(2, 5)
     technique = py.choice(["spml", "epml"])
+    n_vcpus = py.choice([1, 2])
     stack = build_stack(
-        vm_mb=16, pml_buffer_entries=py.choice([16, 32, 64])
+        vm_mb=16, pml_buffer_entries=py.choice([16, 32, 64]),
+        n_vcpus=n_vcpus,
     )
     proc = stack.kernel.spawn("app", n_pages=n_pages)
     proc.space.add_vma(n_pages)
@@ -44,6 +50,8 @@ def _random_run(seed: int) -> otr.TraceSession:
         tracker = make_tracker(technique, stack.kernel, proc)
         tracker.start()
         for _ in range(rounds):
+            if n_vcpus > 1 and py.random() < 0.5:
+                stack.kernel.scheduler.migrate(proc, py.randrange(n_vcpus))
             k = py.randint(1, n_pages)
             vpns = np.array(py.sample(range(n_pages), k), dtype=np.int64)
             stack.kernel.access(proc, vpns, True)
@@ -66,6 +74,8 @@ def test_pml_full_is_followed_by_its_consequence(seed):
         else:
             assert nxt.kind is EventKind.SELF_IPI
             assert nxt.fields["outcome"] == "delivered"
+        # SMP: the consequence lands on the vCPU whose buffer filled.
+        assert nxt.fields["vcpu_id"] == e.fields["vcpu_id"]
 
 
 @pytest.mark.parametrize("seed", SEEDS)

@@ -1,0 +1,150 @@
+"""Differential validation: the SMP-capable simulator at ``n_vcpus=1``.
+
+The SMP refactor threads per-vCPU PML buffers, TLBs, and IPI paths through
+every layer, but a single-vCPU VM must behave *bit-identically* to the
+pre-SMP simulator: same collected dirty sets, same clock totals, same
+event counts, same page-table/EPT/host-memory state.  Two witnesses:
+
+1. Construction-path equivalence — a stack built with an explicit
+   ``n_vcpus=1`` equals one built through the ``REPRO_VCPUS`` environment
+   default, full state, for every technique (randomized workloads).
+2. Degenerate SMP paths — the kernel's shootdown/flush-all entry points
+   at ``n_vcpus=1`` collapse to the plain single-TLB primitives: zero
+   IPIs, zero shootdown events, zero clock charge beyond the local op.
+
+A third check pins the *semantic* invariant across counts: the same
+workload on a 4-vCPU VM whose only process never migrates collects the
+exact same dirty sets as the 1-vCPU run (tracker-visible equivalence).
+"""
+
+import os
+from unittest import mock
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracking import make_tracker
+from repro.experiments.harness import build_stack
+
+TECHNIQUES = ("spml", "epml", "oracle", "proc", "ufd")
+N_PAGES = 96
+ROUNDS_MAX = 6
+
+
+class SmpHarness:
+    """Production stack + one tracked process, wired for state capture."""
+
+    def __init__(self, n_vcpus: int | None = 1) -> None:
+        self.stack = build_stack(
+            vm_mb=16, pml_buffer_entries=32, n_vcpus=n_vcpus
+        )
+        self.kernel = self.stack.kernel
+        self.proc = self.kernel.spawn("app", n_pages=N_PAGES)
+        self.proc.space.add_vma(N_PAGES)
+        self.collected: list[list[int]] = []
+
+    def drive(self, technique: str, batches: list[list[tuple[int, bool]]]):
+        self.kernel.access(self.proc, np.arange(N_PAGES), True)
+        tracker = make_tracker(technique, self.kernel, self.proc)
+        tracker.start()
+        for batch in batches:
+            vpns = np.array([v for v, _ in batch], dtype=np.int64)
+            writes = np.array([w for _, w in batch], dtype=bool)
+            self.kernel.access(self.proc, vpns, writes)
+            self.collected.append(sorted(int(v) for v in tracker.collect()))
+        tracker.stop()
+        return self
+
+    def state(self) -> tuple:
+        vm = self.stack.vm
+        snap = self.stack.clock.snapshot()
+        return (
+            self.collected,
+            self.proc.space.pt.flags.tolist(),
+            self.proc.space.pt.gpfn.tolist(),
+            vm.ept.flags.tolist(),
+            vm.mmu.host_mem._content.tolist(),
+            self.stack.clock.now_us,
+            dict(snap.event_count),
+            [vc.pml.n_hyp_full_events for vc in vm.vcpus],
+            [vc.pml.n_guest_full_events for vc in vm.vcpus],
+            [vc.n_vmexits for vc in vm.vcpus],
+            [t.n_flushes for t in self.proc.space.tlbs],
+            [t.n_invalidations for t in self.proc.space.tlbs],
+        )
+
+
+BATCHES = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, N_PAGES - 1), st.booleans()),
+        min_size=1,
+        max_size=40,
+    ),
+    min_size=1,
+    max_size=ROUNDS_MAX,
+)
+
+
+def test_default_stack_is_single_vcpu(monkeypatch):
+    monkeypatch.delenv("REPRO_VCPUS", raising=False)
+    stack = build_stack(vm_mb=16)
+    assert stack.vm.n_vcpus == 1
+    assert len(stack.vm.vcpus) == 1
+    assert stack.vm.vcpu is stack.vm.vcpus[0]
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@settings(max_examples=15, deadline=None)
+@given(batches=BATCHES)
+def test_explicit_equals_env_default(technique, batches):
+    """Full-state bit-identity between the two n_vcpus=1 construction
+    paths, per technique, over randomized write/collect schedules."""
+    with mock.patch.dict(os.environ, {"REPRO_VCPUS": "1"}):
+        explicit = SmpHarness(n_vcpus=1).drive(technique, batches)
+        from_env = SmpHarness(n_vcpus=None).drive(technique, batches)
+    assert explicit.state() == from_env.state()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@settings(max_examples=10, deadline=None)
+@given(batches=BATCHES)
+def test_pinned_smp_collects_identically(technique, batches):
+    """A 4-vCPU VM whose sole process never migrates must report the
+    same dirty sets per round as the 1-vCPU run — vCPU count alone can
+    never change tracking semantics."""
+    uni = SmpHarness(n_vcpus=1).drive(technique, batches)
+    smp = SmpHarness(n_vcpus=4).drive(technique, batches)
+    assert smp.kernel.scheduler.vcpu_of(smp.proc) == 0
+    assert uni.collected == smp.collected
+
+
+def test_shootdown_degenerates_at_nvcpus1():
+    """kernel.tlb_shootdown with one vCPU == plain tlb.invalidate: no
+    IPIs, no clock charge, no pending work."""
+    h = SmpHarness(n_vcpus=1)
+    h.kernel.access(h.proc, np.arange(N_PAGES), True)
+    tlb = h.proc.space.tlb
+    assert tlb.n_cached == N_PAGES
+    before_us = h.stack.clock.now_us
+    before_ipis = h.stack.vm.vcpu.interrupts.n_posted
+    n = h.kernel.tlb_shootdown(h.proc, np.arange(10))
+    assert n == 0
+    assert tlb.cached_any(np.arange(10)) is False
+    assert tlb.n_cached == N_PAGES - 10
+    assert h.stack.clock.now_us == before_us
+    assert h.stack.vm.vcpu.interrupts.n_posted == before_ipis
+    assert all(not q for q in h.kernel._pending_shootdowns)
+
+
+def test_flush_all_degenerates_at_nvcpus1():
+    """kernel.tlb_flush_all with one vCPU == plain tlb.flush."""
+    h = SmpHarness(n_vcpus=1)
+    h.kernel.access(h.proc, np.arange(N_PAGES), True)
+    before_ipis = h.stack.vm.vcpu.interrupts.n_posted
+    n = h.kernel.tlb_flush_all(h.proc)
+    assert n == 0
+    assert h.proc.space.tlb.n_cached == 0
+    assert h.proc.space.tlb.n_flushes == 1
+    assert h.stack.vm.vcpu.interrupts.n_posted == before_ipis

@@ -1,0 +1,162 @@
+"""Cross-vCPU TLB shootdown discipline (SMP).
+
+The single-vCPU discipline (``tests/guest/test_tlb_discipline.py``) says:
+every path that downgrades a cached translation must invalidate it.  On
+SMP the translation may be cached on a *different* vCPU than the one the
+downgrade runs on — the classic lost-write hazard: a tracker re-arms
+dirty logging while the process sits on vCPU B, but vCPU A still holds a
+writable dirty translation; a later write on vCPU A would then dodge the
+logging circuit entirely.  These tests pin the shootdown at every
+downgrade site: a write on vCPU A after a permission change initiated
+from vCPU B must never be lost.
+"""
+
+import numpy as np
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.core.tracking import Technique, make_tracker
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.hypervisor import Hypervisor
+
+N_PAGES = 128
+
+
+def _stack(n_vcpus=2, vm_mb=8):
+    clock = SimClock()
+    hv = Hypervisor(clock, CostModel(), host_mem_mb=vm_mb * 4)
+    vm = hv.create_vm("vm0", mem_mb=vm_mb, n_vcpus=n_vcpus)
+    kernel = GuestKernel(vm)
+    proc = kernel.spawn("app", n_pages=N_PAGES)
+    proc.space.add_vma(N_PAGES)
+    return kernel, proc
+
+
+def test_shootdown_reaches_remote_tlb():
+    """Translations cached while running on vCPU 0 are invalidated by a
+    shootdown initiated after migrating to vCPU 1."""
+    kernel, proc = _stack()
+    vpns = np.arange(0, 16, dtype=np.int64)
+    kernel.access(proc, vpns, True)  # fills tlbs[0]
+    assert proc.space.tlbs[0].cached_mask(vpns).all()
+    kernel.scheduler.migrate(proc, 1)
+    n = kernel.tlb_shootdown(proc, vpns)
+    assert n == 1  # exactly one remote vCPU held the translations
+    assert not proc.space.tlbs[0].cached_mask(vpns).any()
+    # Delivery is synchronous: nothing left pending.
+    assert all(not q for q in kernel._pending_shootdowns)
+
+
+def test_shootdown_skips_clean_vcpus():
+    """A remote vCPU caching none of the VPNs gets no IPI (mm_cpumask
+    filtering): at 4 vCPUs with the process only ever on vCPU 0, a
+    shootdown from vCPU 1 targets exactly vCPU 0."""
+    kernel, proc = _stack(n_vcpus=4)
+    vpns = np.arange(0, 16, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    kernel.scheduler.migrate(proc, 1)
+    ipis_before = [vc.interrupts.n_posted for vc in kernel.vm.vcpus]
+    assert kernel.tlb_shootdown(proc, vpns) == 1
+    delta = [
+        vc.interrupts.n_posted - b
+        for vc, b in zip(kernel.vm.vcpus, ipis_before)
+    ]
+    assert delta == [1, 0, 0, 0]
+
+
+def test_flush_all_reaches_every_dirty_tlb():
+    kernel, proc = _stack(n_vcpus=3)
+    kernel.access(proc, np.arange(0, 8), True)        # vCPU 0
+    kernel.scheduler.migrate(proc, 1)
+    kernel.access(proc, np.arange(8, 16), True)       # vCPU 1
+    kernel.scheduler.migrate(proc, 2)
+    assert kernel.tlb_flush_all(proc) == 2
+    assert all(t.n_cached == 0 for t in proc.space.tlbs)
+
+
+def test_epml_write_after_remote_rearm_not_lost():
+    """The ISSUE scenario for EPML: collect re-arms (clears PTE dirty)
+    from vCPU 1 while vCPU 0 caches the dirty translations; a subsequent
+    write back on vCPU 0 must re-walk and be collected, not lost."""
+    kernel, proc = _stack()
+    vpns = np.arange(0, 32, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    tracker = make_tracker(Technique.EPML, kernel, proc)
+    tracker.start()
+    kernel.access(proc, vpns, True)            # dirty on vCPU 0
+    kernel.scheduler.migrate(proc, 1)
+    first = tracker.collect()                  # re-arm initiated on vCPU 1
+    assert set(vpns.tolist()) <= set(int(v) for v in first)
+    assert not proc.space.tlbs[0].cached_mask(vpns).any()
+    kernel.scheduler.migrate(proc, 0)
+    kernel.access(proc, vpns, True)            # write again on vCPU 0
+    second = tracker.collect()
+    assert set(vpns.tolist()) <= set(int(v) for v in second)
+    tracker.stop()
+
+
+def test_oracle_write_after_remote_rearm_not_lost():
+    kernel, proc = _stack()
+    vpns = np.arange(0, 32, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    tracker = make_tracker(Technique.ORACLE, kernel, proc)
+    tracker.start()
+    kernel.access(proc, vpns, True)
+    kernel.scheduler.migrate(proc, 1)
+    first = tracker.collect()
+    assert set(vpns.tolist()) <= set(int(v) for v in first)
+    kernel.scheduler.migrate(proc, 0)
+    kernel.access(proc, vpns, True)
+    second = tracker.collect()
+    assert set(vpns.tolist()) <= set(int(v) for v in second)
+    tracker.stop()
+
+
+def test_proc_clear_refs_flushes_remote_tlbs():
+    """/proc soft-dirty: clear_refs from vCPU 1 must flush vCPU 0's TLB
+    (the real-Linux bug class the flush discipline exists to prevent)."""
+    kernel, proc = _stack()
+    vpns = np.arange(0, 32, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    tracker = make_tracker(Technique.PROC, kernel, proc)
+    kernel.scheduler.migrate(proc, 1)
+    tracker.start()                            # clear_refs on vCPU 1
+    assert proc.space.tlbs[0].n_cached == 0
+    kernel.scheduler.migrate(proc, 0)
+    kernel.access(proc, vpns, True)
+    dirty = tracker.collect()
+    assert set(vpns.tolist()) <= set(int(v) for v in dirty)
+    tracker.stop()
+
+
+def test_ufd_write_protect_shoots_down_remote():
+    """userfaultfd write-protect armed from vCPU 1 must invalidate the
+    writable translations vCPU 0 still caches."""
+    kernel, proc = _stack()
+    vpns = np.arange(0, 32, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    assert proc.space.tlbs[0].cached_mask(vpns).all()
+    kernel.scheduler.migrate(proc, 1)
+    tracker = make_tracker(Technique.UFD, kernel, proc)
+    tracker.start()
+    assert not proc.space.tlbs[0].cached_mask(vpns).any()
+    kernel.scheduler.migrate(proc, 0)
+    kernel.access(proc, vpns, True)
+    dirty = tracker.collect()
+    assert set(vpns.tolist()) <= set(int(v) for v in dirty)
+    tracker.stop()
+
+
+def test_shootdown_ipis_survive_ipi_fault_injection():
+    """Shootdown IPIs are reliable (the initiator spins for the ack) —
+    the LOST_SELF_IPI fault site must not drop them, or a stale remote
+    translation would silently leak writes."""
+    kernel, proc = _stack()
+    vpns = np.arange(0, 16, dtype=np.int64)
+    kernel.access(proc, vpns, True)
+    kernel.scheduler.migrate(proc, 1)
+    plan = FaultPlan([FaultSpec(FaultSite.LOST_SELF_IPI, 1.0)])
+    with plan.active():
+        assert kernel.tlb_shootdown(proc, vpns) == 1
+    assert not proc.space.tlbs[0].cached_mask(vpns).any()
