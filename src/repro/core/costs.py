@@ -57,6 +57,10 @@ __all__ = [
     "EV_COMPUTE",
     "EV_TRACKING_ROUTINE",
     "EV_DISK_WRITE",
+    "EV_MIGRATION_SEND",
+    "EV_NET_PAGE_PULL",
+    "EV_NET_BACKOFF",
+    "EV_POSTCOPY_SWITCH",
 ]
 
 # ---------------------------------------------------------------------------
@@ -93,6 +97,10 @@ EV_SCHED_SWITCH = "sched_switch"
 EV_COMPUTE = "compute"  # workload's own work
 EV_TRACKING_ROUTINE = "tracking_routine"  # the paper's C_p
 EV_DISK_WRITE = "disk_write"  # CRIU image writes
+EV_MIGRATION_SEND = "migration_page_send"  # pre-copy page transfer
+EV_NET_PAGE_PULL = "net_page_pull"  # post-copy demand fetch over the link
+EV_NET_BACKOFF = "net_backoff"  # partition retry wait
+EV_POSTCOPY_SWITCH = "postcopy_switchover"  # pre->post-copy state handoff
 
 
 @dataclass(frozen=True)
@@ -132,6 +140,13 @@ class CostParams:
     hc_spp_init_us: float = 5495.0
     spp_protect_us: float = 0.9  # table-entry write inside the hypercall
     subpage_check_us: float = 0.0  # the permission check is in the walk
+    # Simulated network (fleet layer).  ``net_send_us_per_page`` keeps the
+    # historical LiveMigration per-page constant; links may override it.
+    net_send_us_per_page: float = 3.3  # ~10 GbE for a 4 KiB page + headers
+    net_latency_us: float = 50.0  # per-transfer propagation + stack traversal
+    net_spike_factor: float = 10.0  # latency multiplier under a spike fault
+    net_backoff_us: float = 200.0  # wait per partition-retry attempt
+    postcopy_state_us: float = 300.0  # pre->post-copy switchover bookkeeping
 
     def with_overrides(self, **kwargs: float) -> "CostParams":
         """Return a copy with some fields replaced (ablation support)."""

@@ -33,6 +33,7 @@ from repro.experiments.harness import (
     run_microbench,
 )
 from repro.experiments.tables import fmt_ms, fmt_pct, render_table
+from repro.fleet.experiment import exp_fleet
 from repro.obs import trace as otr
 from repro.trackers.boehm import GcParams
 
@@ -424,6 +425,7 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentOutput]] = {
     "fig9": exp_fig9,
     "fig10_11": exp_fig10_11,
     "fault_matrix": exp_fault_matrix,
+    "fleet": exp_fleet,
 }
 
 
@@ -446,6 +448,7 @@ EXPERIMENT_FAMILIES: list[list[str]] = [
     ["fig7", "fig8", "fig9"],
     ["fig10_11"],
     ["fault_matrix"],
+    ["fleet"],
 ]
 
 
@@ -483,6 +486,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="run every experiment VM with N vCPUs "
                              "(sets REPRO_VCPUS, so --jobs workers inherit "
                              "it; default: 1, or the REPRO_VCPUS env var)")
+    parser.add_argument("--hosts", type=int, default=None, metavar="N",
+                        help="fleet experiment: number of hosts "
+                             "(sets REPRO_FLEET_HOSTS)")
+    parser.add_argument("--vms", type=int, default=None, metavar="N",
+                        help="fleet experiment: number of VMs to drain "
+                             "(sets REPRO_FLEET_VMS)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect observability metrics during the runs "
                              "and print the registry afterwards (forces "
@@ -501,6 +510,17 @@ def main(argv: list[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_VCPUS"] = str(args.vcpus)
+    if args.hosts is not None or args.vms is not None:
+        import os
+
+        if args.hosts is not None:
+            if args.hosts < 2:
+                parser.error("--hosts must be >= 2 (need a migration target)")
+            os.environ["REPRO_FLEET_HOSTS"] = str(args.hosts)
+        if args.vms is not None:
+            if args.vms < 1:
+                parser.error("--vms must be >= 1")
+            os.environ["REPRO_FLEET_VMS"] = str(args.vms)
     if args.trace_out and not args.metrics:
         parser.error("--trace-out requires --metrics")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

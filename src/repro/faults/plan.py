@@ -33,6 +33,12 @@ class FaultSite(enum.Enum):
     VMEXIT_DROP = "vmexit_drop"
     #: The frame allocator transiently refuses an allocation.
     FRAME_EXHAUSTION = "frame_exhaustion"
+    #: The simulated network drops pages in flight (retransmitted).
+    NET_DROP = "net_drop"
+    #: One transfer sees a multiplied propagation latency.
+    NET_LATENCY_SPIKE = "net_latency_spike"
+    #: The link is partitioned; the transfer backs off and retries.
+    NET_PARTITION = "net_partition"
 
 
 @dataclass(frozen=True)

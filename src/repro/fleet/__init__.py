@@ -1,0 +1,20 @@
+"""Fleet layer: multi-host orchestration of VMs over a simulated network
+(DESIGN.md §11) — capacity-accounted hosts, adaptive pre-copy migration
+with auto-converge throttling, and post-copy fallback under a downtime
+SLO."""
+
+from repro.fleet.host import FleetVm, Host, VmSpec
+from repro.fleet.orchestrator import (
+    FleetMigrationReport,
+    MigrationOrchestrator,
+    MigrationPolicy,
+)
+
+__all__ = [
+    "FleetVm",
+    "Host",
+    "VmSpec",
+    "FleetMigrationReport",
+    "MigrationOrchestrator",
+    "MigrationPolicy",
+]

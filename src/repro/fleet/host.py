@@ -1,0 +1,217 @@
+"""Hosts and fleet VMs: capacity-accounted nodes running guest workloads.
+
+A :class:`Host` wraps one :class:`~repro.hypervisor.hypervisor.Hypervisor`
+sharing the fleet's single :class:`~repro.core.clock.SimClock` and
+:class:`~repro.core.costs.CostModel` — simulated time is global, so
+events on different hosts serialize deterministically.  Capacity is frame
+accounting: a VM fits iff the host's physical frame pool can hold its
+whole footprint (VMs map their EPT eagerly at creation).
+
+A :class:`FleetVm` is the unit the orchestrator moves: a workload spec,
+a seeded RNG that *persists across re-binding* (the workload keeps its
+random stream when the VM lands on a new host — same writes, new home),
+and the current (host, vm, kernel, process) binding.  ``throttle`` is the
+auto-converge knob: a throttled guest performs proportionally fewer
+writes per round, exactly QEMU's cpu-throttle trick.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.errors import ConfigurationError
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import Process
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.vm import Vm
+
+__all__ = ["VmSpec", "FleetVm", "Host"]
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """Immutable description of one fleet VM and its write workload."""
+
+    name: str
+    mem_mb: float
+    #: Pages the workload touches (the VMA size), <= the VM's footprint.
+    workload_pages: int
+    #: Page accesses issued per unthrottled round.
+    writes_per_round: int
+    #: Fraction of accesses that are writes (the rest are reads).
+    write_fraction: float = 1.0
+    #: Guest compute charged per round (the workload's own work).
+    compute_us_per_round: float = 200.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.workload_pages < 1:
+            raise ConfigurationError(
+                f"workload_pages must be >= 1: {self.workload_pages}"
+            )
+        if self.workload_pages > Vm.mb(self.mem_mb):
+            raise ConfigurationError(
+                f"workload_pages {self.workload_pages} exceeds the "
+                f"{self.mem_mb} MiB footprint ({Vm.mb(self.mem_mb)} pages)"
+            )
+        if self.writes_per_round < 1:
+            raise ConfigurationError(
+                f"writes_per_round must be >= 1: {self.writes_per_round}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError(
+                f"write_fraction must be in [0, 1]: {self.write_fraction}"
+            )
+        if self.compute_us_per_round < 0:
+            raise ConfigurationError(
+                f"compute_us_per_round must be >= 0: {self.compute_us_per_round}"
+            )
+
+    @property
+    def mem_pages(self) -> int:
+        return Vm.mb(self.mem_mb)
+
+
+class FleetVm:
+    """One migratable VM: spec + persistent workload RNG + binding."""
+
+    def __init__(self, spec: VmSpec) -> None:
+        self.spec = spec
+        # crc32 of the name decorrelates same-seed VMs; the stream is
+        # owned here (not per-host) so migration never rewinds it.
+        self._rng = np.random.default_rng(
+            (spec.seed & 0xFFFFFFFF) ^ zlib.crc32(spec.name.encode())
+        )
+        #: Auto-converge throttle in [0, 1): fraction of the round's
+        #: accesses suppressed.
+        self.throttle = 0.0
+        #: Most recent WSS estimate (pages); starts pessimistic at the
+        #: whole workload.
+        self.last_wss_pages = spec.workload_pages
+        self.n_rounds = 0
+        self.host: Host | None = None
+        self.vm: Vm | None = None
+        self.kernel: GuestKernel | None = None
+        self.proc: Process | None = None
+        self._round_hooks: list[Callable[[], None]] = []
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def bind(
+        self, host: "Host", vm: Vm, kernel: GuestKernel, proc: Process
+    ) -> None:
+        self.host = host
+        self.vm = vm
+        self.kernel = kernel
+        self.proc = proc
+
+    def add_round_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after every workload round (e.g. tracker collect)."""
+        self._round_hooks.append(hook)
+
+    def run_round(self) -> None:
+        """One workload quantum: randomized accesses + guest compute."""
+        if self.kernel is None or self.proc is None:
+            raise ConfigurationError(f"FleetVm {self.name} is not bound")
+        spec = self.spec
+        n = max(1, int(round(spec.writes_per_round * (1.0 - self.throttle))))
+        vpns = self._rng.integers(0, spec.workload_pages, n)
+        if spec.write_fraction >= 1.0:
+            writes: bool | np.ndarray = True
+        else:
+            writes = self._rng.random(n) < spec.write_fraction
+        self.kernel.access(self.proc, vpns, writes)
+        if spec.compute_us_per_round > 0:
+            self.kernel.compute(self.proc, spec.compute_us_per_round)
+        self.n_rounds += 1
+        for hook in self._round_hooks:
+            hook()
+
+
+@dataclass
+class Host:
+    """One physical node: a hypervisor plus resident fleet VMs."""
+
+    host_id: str
+    clock: SimClock
+    costs: CostModel
+    mem_mb: float
+    pml_buffer_entries: int = 512
+    hypervisor: Hypervisor = field(init=False)
+    vms: dict[str, FleetVm] = field(init=False, default_factory=dict)
+    #: Frames promised to in-flight incoming migrations (the destination
+    #: VM is not created until pre-copy finishes, but concurrent placement
+    #: decisions must see the claim).
+    reserved_pages: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.hypervisor = Hypervisor(
+            self.clock, self.costs, host_mem_mb=self.mem_mb
+        )
+
+    # -- capacity accounting ------------------------------------------
+    @property
+    def capacity_pages(self) -> int:
+        return self.hypervisor.host_mem.n_frames
+
+    @property
+    def free_pages(self) -> int:
+        return self.hypervisor.host_mem.allocator.n_free
+
+    @property
+    def committed_pages(self) -> int:
+        return self.capacity_pages - self.free_pages
+
+    @property
+    def hot_pages(self) -> int:
+        """Sum of resident VMs' WSS estimates — the placement pressure."""
+        return sum(fvm.last_wss_pages for fvm in self.vms.values())
+
+    @property
+    def available_pages(self) -> int:
+        """Free frames minus in-flight reservations."""
+        return self.free_pages - self.reserved_pages
+
+    def fits(self, mem_pages: int) -> bool:
+        return self.available_pages >= mem_pages
+
+    # -- VM lifecycle -------------------------------------------------
+    def create_shell(self, spec: VmSpec) -> tuple[Vm, GuestKernel, Process]:
+        """VM + kernel + an *unpopulated* process with the workload VMA
+        laid out — the destination half of a migration."""
+        vm = self.hypervisor.create_vm(
+            spec.name, mem_mb=spec.mem_mb,
+            pml_buffer_entries=self.pml_buffer_entries,
+        )
+        kernel = GuestKernel(vm)
+        proc = kernel.spawn(spec.name, n_pages=spec.workload_pages)
+        proc.space.add_vma(spec.workload_pages)
+        return vm, kernel, proc
+
+    def place(self, spec: VmSpec) -> FleetVm:
+        """Boot a fresh fleet VM here, workload memory fully faulted in."""
+        fvm = FleetVm(spec)
+        vm, kernel, proc = self.create_shell(spec)
+        kernel.access(
+            proc, np.arange(spec.workload_pages, dtype=np.int64), True
+        )
+        fvm.bind(self, vm, kernel, proc)
+        self.vms[spec.name] = fvm
+        return fvm
+
+    def adopt(self, fvm: FleetVm) -> None:
+        """Register an incoming (already bound) migrated VM."""
+        self.vms[fvm.name] = fvm
+
+    def evict(self, fvm: FleetVm) -> None:
+        """Tear down a migrated-away VM's source half."""
+        self.vms.pop(fvm.name, None)
+        self.hypervisor.destroy_vm(fvm.spec.name)

@@ -1,0 +1,157 @@
+"""Post-copy destination: pull-on-fault over userfaultfd + background push.
+
+When pre-copy cannot converge under the downtime SLO, the orchestrator
+pauses the source, ships only the VM's *non-dirty* state, and resumes the
+guest on the destination immediately.  Pages still dirty at switchover
+("on the wire") materialise two ways, exactly the CRIU lazy-pages shape
+(:mod:`repro.trackers.criu.lazy`):
+
+* **pull** — the destination guest touches a missing page; the uffd
+  MISSING fault is resolved by fetching that batch over the network
+  (charged to the guest's world: post-copy faults are downtime the
+  application feels);
+* **push** — a background daemon streams the remaining pages in batches
+  so the tail does not fault forever.
+
+Content tokens are installed during fault resolution, *before* the MMU
+completes the triggering access — a destination write lands on top of the
+transferred content (UFFDIO_COPY ordering), so source tokens never
+clobber destination progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clock import World
+from repro.core.costs import EV_MIGRATION_SEND, EV_NET_PAGE_PULL
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import Process
+from repro.guest.uffd import UfdMode, UserFaultFd
+from repro.hw.pagetable import PTE_DIRTY
+from repro.net.transport import Flow, Transport
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
+
+__all__ = ["PostCopyReport", "PostCopyDestination"]
+
+
+@dataclass
+class PostCopyReport:
+    """Accounting for one post-copy phase."""
+
+    missing_pages: int = 0
+    pulled_pages: int = 0
+    pushed_pages: int = 0
+    pull_faults: int = 0
+
+
+class PostCopyDestination:
+    """The destination protocol half after a post-copy switchover."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        proc: Process,
+        transport: Transport,
+        flow: Flow,
+        missing_vpns: np.ndarray,
+        final_tokens: dict[int, int],
+        push_batch_pages: int = 256,
+    ) -> None:
+        self.kernel = kernel
+        self.proc = proc
+        self.transport = transport
+        self.flow = flow
+        self.final_tokens = final_tokens
+        self.push_batch_pages = push_batch_pages
+        self.on_wire: set[int] = {int(v) for v in missing_vpns}
+        self.report = PostCopyReport(missing_pages=len(self.on_wire))
+
+        # Pages pre-copy already transferred are resident before the guest
+        # resumes: materialise them and overlay the source's tokens (their
+        # transfer time was charged round by round during pre-copy).
+        resident = np.array(
+            sorted(v for v in final_tokens if v not in self.on_wire),
+            dtype=np.int64,
+        )
+        if resident.size:
+            kernel.access(proc, resident, True)
+            tokens = np.array(
+                [final_tokens[int(v)] for v in resident], dtype=np.uint64
+            )
+            kernel.vm.mmu.write_page_contents(proc.space.pt, resident, tokens)
+            # The materialisation pass is not guest progress: clear the PTE
+            # dirty bits so the first *real* destination write to each page
+            # surfaces in ``newly_pte_dirty`` (the integrity exclusion set).
+            proc.space.pt.clear_flags(resident, PTE_DIRTY)
+
+        # Missing pages trap to userspace on first touch, lazy-pages style.
+        self.uffd: UserFaultFd = kernel.create_uffd(proc)
+        for vma in proc.space.vmas:
+            self.uffd.register(vma, UfdMode.MISSING)
+        original_deliver = self.uffd.deliver_miss_faults
+
+        def deliver(vpns: np.ndarray, write_mask=None) -> None:
+            original_deliver(vpns, write_mask)
+            self._resolve(np.asarray(vpns, dtype=np.int64))
+
+        self.uffd.deliver_miss_faults = deliver  # type: ignore[method-assign]
+
+    def _resolve(self, vpns: np.ndarray) -> None:
+        """Install transferred contents for freshly-resolved pages; pages
+        still on the wire are pulled over the network first."""
+        pulls = [int(v) for v in vpns if int(v) in self.on_wire]
+        if pulls:
+            self.on_wire.difference_update(pulls)
+            self.report.pull_faults += 1
+            self.report.pulled_pages += len(pulls)
+            self.transport.send(
+                self.flow, len(pulls), world=World.TRACKED,
+                event=EV_NET_PAGE_PULL,
+            )
+            if otr.ACTIVE is not None:
+                otr.ACTIVE.emit(
+                    EventKind.POSTCOPY_PULL,
+                    flow=self.flow.flow_id,
+                    n_pages=len(pulls),
+                )
+                otr.ACTIVE.metrics.inc("postcopy.pulled_pages", len(pulls))
+        have = [int(v) for v in vpns if int(v) in self.final_tokens]
+        if have:
+            arr = np.array(have, dtype=np.int64)
+            tokens = np.array(
+                [self.final_tokens[v] for v in have], dtype=np.uint64
+            )
+            self.kernel.vm.mmu.write_page_contents(
+                self.proc.space.pt, arr, tokens
+            )
+
+    def push_step(self) -> int:
+        """Background-push one batch of still-missing pages; returns how
+        many pages moved."""
+        if not self.on_wire:
+            return 0
+        batch = np.array(
+            sorted(self.on_wire)[: self.push_batch_pages], dtype=np.int64
+        )
+        # Leave the wire *before* the access: the push pays the transfer,
+        # and the miss-fault hook must not double-charge it as a pull.
+        self.on_wire.difference_update(int(v) for v in batch)
+        self.transport.send(
+            self.flow, int(batch.size), world=World.HYPERVISOR,
+            event=EV_MIGRATION_SEND,
+        )
+        self.kernel.access(self.proc, batch, False)
+        self.report.pushed_pages += int(batch.size)
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.metrics.inc("postcopy.pushed_pages", int(batch.size))
+        return int(batch.size)
+
+    def drain(self) -> None:
+        """Push everything left, then detach the uffd."""
+        while self.push_step():
+            pass
+        self.uffd.close()

@@ -63,3 +63,10 @@ class WssEstimator:
             self.sample(run_interval)
         recent = self.samples[-intervals:]
         return float(np.mean([s.accessed_pages for s in recent]))
+
+    def estimate_pages(
+        self, run_interval: Callable[[], None], intervals: int
+    ) -> int:
+        """:meth:`estimate` rounded up to whole pages — the form the fleet
+        placement path consumes (a fractional page still occupies one)."""
+        return int(np.ceil(self.estimate(run_interval, intervals)))

@@ -1,0 +1,7 @@
+"""Deterministic simulated network: links, flows, and a cost-charging
+transport for the fleet layer (DESIGN.md §11)."""
+
+from repro.net.link import Link
+from repro.net.transport import Flow, Transport, TransportSender
+
+__all__ = ["Link", "Flow", "Transport", "TransportSender"]

@@ -1,0 +1,76 @@
+"""Simulated network links with fair-share contention.
+
+A :class:`Link` is a named pipe with a per-page transfer cost and a
+propagation latency.  Contention is modelled fair-share: every flow
+attached to a link sees the link's per-page cost multiplied by the number
+of concurrently open flows (``share_factor``), so two simultaneous
+migrations over one backbone each move pages at half speed.  Both
+parameters default to the :class:`~repro.core.costs.CostParams` network
+fields so a bare ``Link("backbone")`` reproduces the historical
+``LiveMigration`` constant; ``0.0`` is a valid override (an infinitely
+fast or zero-latency link — the degenerate case the differential tests
+pin against the pre-fleet code path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costs import CostParams
+from repro.errors import ConfigurationError
+
+__all__ = ["Link"]
+
+
+@dataclass
+class Link:
+    """One contended network segment between hosts."""
+
+    name: str
+    #: Microseconds to move one page; ``None`` defers to
+    #: ``CostParams.net_send_us_per_page``.
+    us_per_page: float | None = None
+    #: Per-transfer propagation latency; ``None`` defers to
+    #: ``CostParams.net_latency_us``.
+    latency_us: float | None = None
+    _flows: set[str] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.us_per_page is not None and self.us_per_page < 0:
+            raise ConfigurationError(
+                f"us_per_page must be >= 0: {self.us_per_page}"
+            )
+        if self.latency_us is not None and self.latency_us < 0:
+            raise ConfigurationError(
+                f"latency_us must be >= 0: {self.latency_us}"
+            )
+
+    def resolve(self, params: CostParams) -> tuple[float, float]:
+        """(us_per_page, latency_us) with cost-model defaults applied."""
+        us_pp = (
+            params.net_send_us_per_page
+            if self.us_per_page is None
+            else self.us_per_page
+        )
+        latency = (
+            params.net_latency_us if self.latency_us is None else self.latency_us
+        )
+        return us_pp, latency
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def share_factor(self) -> int:
+        """Fair-share multiplier on per-page cost: one open flow is the
+        uncontended baseline, n flows each run n times slower."""
+        return max(1, len(self._flows))
+
+    def attach(self, flow_id: str) -> None:
+        if flow_id in self._flows:
+            raise ConfigurationError(f"flow already attached: {flow_id}")
+        self._flows.add(flow_id)
+
+    def detach(self, flow_id: str) -> None:
+        self._flows.discard(flow_id)

@@ -46,6 +46,18 @@ class EventKind(enum.Enum):
     RING_DROP = "ring_drop"
     #: One pre-copy round (or stop-and-copy) sent pages [hypervisor/migration].
     MIGRATION_ROUND = "migration_round"
+    #: A batch of pages was charged to the transfer path [hypervisor/migration].
+    MIGRATION_PAGE_SEND = "migration_page_send"
+    #: A migration switched mode (pre-copy -> post-copy) [fleet/orchestrator].
+    MIGRATION_MODE = "migration_mode"
+    #: A flow moved pages across a simulated link [net/transport].
+    NET_SEND = "net_send"
+    #: A network fault site fired (drop / spike / partition) [net/transport].
+    NET_FAULT = "net_fault"
+    #: Post-copy destination pulled missing pages on fault [fleet/postcopy].
+    POSTCOPY_PULL = "postcopy_pull"
+    #: The orchestrator selected a destination host [fleet/orchestrator].
+    FLEET_PLACEMENT = "fleet_placement"
     #: A page-access batch wrote these VPNs [hw/mmu].
     WRITE = "write"
     #: A tracker reported dirty VPNs [core/tracking].

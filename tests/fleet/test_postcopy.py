@@ -1,0 +1,117 @@
+"""Satellite 4: post-copy fallback under a dirty rate the link can't beat.
+
+A guest whose dirty rate exceeds the link bandwidth can never converge
+under pre-copy: the orchestrator must max out auto-converge throttling,
+trip the downtime SLO, switch to post-copy — and the destination must end
+up with *exactly* the source's final memory (full-state differential via
+:mod:`tests.smp.helpers`), modulo only pages the destination guest itself
+wrote after the switchover.
+"""
+
+import numpy as np
+
+from repro.core.clock import SimClock
+from repro.core.costs import CostModel
+from repro.fleet.host import Host, VmSpec
+from repro.fleet.orchestrator import MigrationOrchestrator, MigrationPolicy
+from repro.net.link import Link
+from repro.net.transport import Transport
+from tests.smp.helpers import process_memory_state
+
+N_PAGES = 2048
+
+#: Dirty rate far beyond the default link's ~1 page / 3.3 us: ~1200
+#: unique pages per 200 us round can never drain within an 800 us SLO.
+HOT = VmSpec(
+    name="hot",
+    mem_mb=8.0,
+    workload_pages=N_PAGES,
+    writes_per_round=1800,
+    write_fraction=1.0,
+    compute_us_per_round=200.0,
+    seed=13,
+)
+
+
+def _fleet(policy: MigrationPolicy):
+    clock = SimClock()
+    costs = CostModel()
+    hosts = [Host(f"h{i}", clock, costs, mem_mb=24.0) for i in range(2)]
+    orch = MigrationOrchestrator(
+        hosts, Transport(clock, costs), Link("backbone"), policy
+    )
+    return clock, hosts, orch
+
+
+def test_slo_trip_switches_to_postcopy_with_source_memory_intact():
+    """Pure push drain (no destination rounds): after the migration the
+    destination memory equals the paused source's bit for bit."""
+    policy = MigrationPolicy(
+        downtime_slo_us=800.0, wss_intervals=0, postcopy_dest_rounds=0
+    )
+    costs_params_downtime = CostModel().params.postcopy_state_us
+    _, hosts, orch = _fleet(policy)
+    fvm = hosts[0].place(HOT)
+    src_kernel, src_proc = fvm.kernel, fvm.proc
+
+    report = orch.migrate(fvm, dst=hosts[1], destroy_source=False)
+
+    assert report.mode == "postcopy"
+    assert report.precopy.aborted_reason == "postcopy_slo"
+    assert report.precopy.converged is False
+    assert report.throttle_peak == policy.throttle_max  # ramp maxed out
+    assert report.downtime_us == costs_params_downtime
+    assert report.downtime_us <= policy.downtime_slo_us  # SLO honoured
+    post = report.postcopy
+    assert post is not None
+    assert post.missing_pages > 0  # residual dirty set rode the wire
+    assert post.pulled_pages == 0  # the dest guest never ran...
+    assert post.pushed_pages == post.missing_pages  # ...all pushed
+    assert report.integrity_ok
+
+    # Full-state differential: the destination *is* the paused source.
+    src_vpns, src_tokens = process_memory_state(src_kernel, src_proc)
+    dst_vpns, dst_tokens = process_memory_state(fvm.kernel, fvm.proc)
+    assert np.array_equal(src_vpns, dst_vpns)
+    assert np.array_equal(src_tokens, dst_tokens)
+    # The VM actually moved.
+    assert fvm.host is hosts[1]
+    assert fvm.name in hosts[1].vms and fvm.name not in hosts[0].vms
+
+
+def test_destination_guest_pulls_missing_pages_on_fault():
+    """With the destination guest running during the drain, hot pages
+    materialise by demand pull (uffd MISSING) and the rest by push —
+    every on-the-wire page moves exactly once."""
+    policy = MigrationPolicy(downtime_slo_us=800.0, wss_intervals=0)
+    _, hosts, orch = _fleet(policy)
+    fvm = hosts[0].place(HOT)
+
+    report = orch.migrate(fvm, dst=hosts[1])
+
+    assert report.mode == "postcopy"
+    post = report.postcopy
+    assert post.pull_faults > 0
+    assert post.pulled_pages > 0
+    assert post.pulled_pages + post.pushed_pages == post.missing_pages
+    # Destination progress is excluded, everything else matches the
+    # source: the orchestrator's own differential came back clean.
+    assert report.integrity_ok
+    assert fvm.throttle == 0.0  # post-copy guests run unthrottled
+    # Source half was torn down (destroy_source defaults to True).
+    assert HOT.name not in hosts[0].hypervisor.vms
+
+
+def test_without_slo_precopy_never_falls_back():
+    """No SLO: the hot guest still can't converge, but the failure mode
+    is the stock no-progress stop-and-copy, never post-copy."""
+    policy = MigrationPolicy(downtime_slo_us=None, wss_intervals=0)
+    _, hosts, orch = _fleet(policy)
+    fvm = hosts[0].place(HOT)
+
+    report = orch.migrate(fvm, dst=hosts[1], destroy_source=False)
+
+    assert report.mode == "precopy"
+    assert report.postcopy is None
+    assert report.precopy.aborted_reason == "no_progress"
+    assert report.integrity_ok

@@ -46,6 +46,33 @@ def test_wss_estimate_averages(stack):
     assert len(est.samples) == 4
 
 
+def test_wss_estimate_pages_matches_constant_working_set(stack):
+    proc = stack.kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    stack.kernel.access(proc, np.arange(64), True)
+    est = WssEstimator(stack.vm)
+    pages = est.estimate_pages(
+        lambda: stack.kernel.access(proc, np.arange(16), False), intervals=3
+    )
+    assert pages == 16
+    assert isinstance(pages, int)
+
+
+def test_wss_estimate_pages_rounds_up(stack):
+    """The fleet placement consumer budgets whole frames: a fractional
+    average working set must round *up*, never down."""
+    proc = stack.kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    stack.kernel.access(proc, np.arange(64), True)
+    est = WssEstimator(stack.vm)
+    sizes = iter([3, 4])  # mean 3.5 -> 4 pages
+
+    def interval():
+        stack.kernel.access(proc, np.arange(next(sizes)), False)
+
+    assert est.estimate_pages(interval, intervals=2) == 4
+
+
 def test_wss_validation(stack):
     est = WssEstimator(stack.vm)
     with pytest.raises(ConfigurationError):

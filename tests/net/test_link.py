@@ -1,0 +1,60 @@
+"""Unit tests for the simulated network link (fair-share contention)."""
+
+import pytest
+
+from repro.core.costs import CostParams
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+
+
+def test_bare_link_resolves_to_cost_model_defaults():
+    params = CostParams()
+    us_pp, latency = Link("backbone").resolve(params)
+    assert us_pp == params.net_send_us_per_page
+    assert latency == params.net_latency_us
+
+
+def test_explicit_params_override_defaults():
+    us_pp, latency = Link("fast", us_per_page=1.5, latency_us=10.0).resolve(
+        CostParams()
+    )
+    assert (us_pp, latency) == (1.5, 10.0)
+
+
+def test_zero_is_a_valid_override_not_a_default_fallthrough():
+    """0.0 means an infinitely fast link (the differential degenerate
+    case), not "use the CostParams default"."""
+    us_pp, latency = Link("inf", us_per_page=0.0, latency_us=0.0).resolve(
+        CostParams()
+    )
+    assert (us_pp, latency) == (0.0, 0.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"us_per_page": -0.1},
+    {"latency_us": -1.0},
+])
+def test_negative_parameters_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        Link("bad", **kwargs)
+
+
+def test_share_factor_tracks_attached_flows():
+    link = Link("l")
+    assert link.n_flows == 0
+    assert link.share_factor == 1  # idle link is the uncontended baseline
+    link.attach("a")
+    assert link.share_factor == 1
+    link.attach("b")
+    assert (link.n_flows, link.share_factor) == (2, 2)
+    link.detach("a")
+    assert link.share_factor == 1
+    link.detach("a")  # detach is idempotent
+    assert link.n_flows == 1
+
+
+def test_duplicate_attach_rejected():
+    link = Link("l")
+    link.attach("a")
+    with pytest.raises(ConfigurationError):
+        link.attach("a")

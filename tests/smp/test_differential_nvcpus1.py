@@ -27,6 +27,7 @@ from hypothesis import strategies as st
 
 from repro.core.tracking import make_tracker
 from repro.experiments.harness import build_stack
+from tests.smp.helpers import full_state
 
 TECHNIQUES = ("spml", "epml", "oracle", "proc", "ufd")
 N_PAGES = 96
@@ -58,21 +59,8 @@ class SmpHarness:
         return self
 
     def state(self) -> tuple:
-        vm = self.stack.vm
-        snap = self.stack.clock.snapshot()
-        return (
-            self.collected,
-            self.proc.space.pt.flags.tolist(),
-            self.proc.space.pt.gpfn.tolist(),
-            vm.ept.flags.tolist(),
-            vm.mmu.host_mem._content.tolist(),
-            self.stack.clock.now_us,
-            dict(snap.event_count),
-            [vc.pml.n_hyp_full_events for vc in vm.vcpus],
-            [vc.pml.n_guest_full_events for vc in vm.vcpus],
-            [vc.n_vmexits for vc in vm.vcpus],
-            [t.n_flushes for t in self.proc.space.tlbs],
-            [t.n_invalidations for t in self.proc.space.tlbs],
+        return full_state(
+            self.stack.vm, self.stack.clock, self.proc, self.collected
         )
 
 
