@@ -26,12 +26,16 @@ class OracleTracker(DirtyPageTracker):
 
     def __init__(self, kernel, process) -> None:
         super().__init__(kernel, process)
-        self._dirty: set[int] = set()
+        # Dirty set as a dense bool bitmap: recording a batch is one
+        # vectorised scatter and collection one flatnonzero, instead of
+        # per-page Python set churn (the oracle listener runs on every
+        # access batch of every baseline measurement).
+        self._dirty = np.zeros(process.space.pt.n_pages, dtype=bool)
         self._listener = self._on_access
 
     def _on_access(self, process: Process, result: MmuResult) -> None:
         if process.pid == self.process.pid and result.newly_pte_dirty.size:
-            self._dirty.update(int(v) for v in result.newly_pte_dirty)
+            self._dirty[result.newly_pte_dirty] = True
 
     def _do_start(self) -> None:
         # Arm: the listener sees PTE dirty 0 -> 1 transitions, so clear
@@ -46,8 +50,10 @@ class OracleTracker(DirtyPageTracker):
         self.kernel.add_access_listener(self._listener)
 
     def _do_collect(self) -> np.ndarray:
-        out = np.array(sorted(self._dirty), dtype=np.int64)
-        self._dirty.clear()
+        # flatnonzero yields ascending VPNs — same order the sorted set
+        # produced.
+        out = np.flatnonzero(self._dirty).astype(np.int64)
+        self._dirty[:] = False
         # Re-arm PTE dirty transitions (free: the oracle is costless).
         if out.size:
             self.process.space.pt.clear_flags(out, PTE_DIRTY)
@@ -56,4 +62,4 @@ class OracleTracker(DirtyPageTracker):
 
     def _do_stop(self) -> None:
         self.kernel.remove_access_listener(self._listener)
-        self._dirty.clear()
+        self._dirty[:] = False

@@ -93,8 +93,10 @@ class RefMachine:
         self._ensure_mapped(vpn, write)
         if not write:
             return
-        # Guest PTE dirty transition -> EPML guest-level log.
-        if not self.pte_dirty[vpn]:
+        # Guest PTE dirty transition -> EPML guest-level log.  A missing
+        # key means clean, same as ept_dirty: clear_pte_dirty resets the
+        # whole dict rather than writing False per key.
+        if not self.pte_dirty.get(vpn, False):
             self.pte_dirty[vpn] = True
             if self.guest_enabled:
                 self.guest_buffer.log(vpn)
@@ -110,8 +112,11 @@ class RefMachine:
         self.ept_dirty.clear()
 
     def clear_pte_dirty(self) -> None:
-        for vpn in self.pte_dirty:
-            self.pte_dirty[vpn] = False
+        # Reset, don't rewrite: looping every mapped VPN to store False
+        # kept the dict at full footprint and made each re-arm O(mapped);
+        # an empty dict means "all clean" (access treats a missing key as
+        # a clean bit) and costs O(1) no matter how large the footprint.
+        self.pte_dirty.clear()
 
     def drain_guest(self) -> list[int]:
         out = self.guest_buffer.all_logged()

@@ -30,6 +30,13 @@ class Ept:
         self.n_guest_frames = n_guest_frames
         self.hpfn = np.full(n_guest_frames, -1, dtype=np.int64)
         self.flags = np.zeros(n_guest_frames, dtype=np.uint16)
+        #: Mutation generation for the MMU walk cache: bumped by every
+        #: mapping or flag mutation — map, A/D updates (:meth:`touch`) and
+        #: the harvest re-arm (:meth:`clear_dirty`).  Clearing EPT dirty
+        #: bits therefore always invalidates memoized batch replay, which
+        #: is what guarantees a replayed batch can never swallow a 0->1
+        #: dirty transition the PML circuit should have logged.
+        self.generation = 0
 
     def _check(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
         arr = np.asarray(gpfns, dtype=np.int64).ravel()
@@ -52,6 +59,7 @@ class Ept:
         if writable:
             f |= EPT_WRITABLE
         self.flags[g] = f
+        self.generation += 1
 
     def translate(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
         g = self._check(gpfns)
@@ -73,6 +81,7 @@ class Ept:
         if g.size != w.size:
             raise ValueError("gpfns and write_mask length mismatch")
         self.flags[g] |= EPT_ACCESSED
+        self.generation += 1
         written = g[w]
         if written.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -85,6 +94,7 @@ class Ept:
 
     def clear_dirty(self, gpfns: np.ndarray | list[int] | None = None) -> int:
         """Clear D bits (harvest re-arm); returns how many were set."""
+        self.generation += 1
         if gpfns is None:
             dirty = (self.flags & EPT_DIRTY) != 0
             n = int(dirty.sum())

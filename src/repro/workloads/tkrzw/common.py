@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.calibration import PAGES_PER_MB
 from repro.errors import WorkloadError
+from repro.guest.plan import PlanBuilder
 from repro.workloads.base import MemoryContext, Workload
 
 __all__ = ["KvEngine", "OPS_PER_BATCH"]
@@ -66,10 +67,22 @@ class KvEngine(Workload):
         # (PYTHONHASHSEED), which made runs non-reproducible.
         rng = np.random.default_rng(zlib.crc32(self.name.encode()) & 0xFFFF)
         done = 0
+        plans = ctx.supports_plans
         while done < self.n_iter:
             n_ops = min(OPS_PER_BATCH, self.n_iter - done)
             offsets = self.target_pages(rng, done, n_ops, arena.n_pages)
-            ctx.write(arena, np.unique(offsets))
-            ctx.compute(n_ops * self.us_per_op)
+            if plans:
+                # Offsets are freshly drawn each batch, so the plan is
+                # transient (no copies, no segment memoization) — the win
+                # is the single kernel entry for the write+compute pair.
+                ctx.run_plan(
+                    PlanBuilder()
+                    .write(arena.vpns[np.unique(offsets)])
+                    .compute(n_ops * self.us_per_op)
+                    .build_transient()
+                )
+            else:
+                ctx.write(arena, np.unique(offsets))
+                ctx.compute(n_ops * self.us_per_op)
             done += n_ops
             ctx.checkpoint_opportunity()
