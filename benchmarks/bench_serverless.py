@@ -1,0 +1,84 @@
+"""Serverless churn benchmark: tracker cost under instance churn.
+
+The serverless workload inverts the paper's assumptions: instead of one
+long-lived process tracked across many intervals, thousands of
+short-lived instances each attach a tracker, run for one interval, and
+tear down.  Per-interval collection cost — where OoH shines — stops
+mattering; per-instance *attach* cost dominates, so the OoH techniques
+(SPML/EPML pay hypercalls + shadow-buffer setup per attach) land far
+behind /proc-style trackers that attach for free.  The merged snapshot
+must nonetheless be byte-identical across every technique and across
+repeat runs: tracking choice is a performance knob, never a correctness
+one.
+
+Run directly (no experiment cache — the determinism claim needs two
+genuinely independent runs):
+
+    REPRO_BENCH_QUICK=1 PYTHONPATH=src python -m pytest benchmarks/bench_serverless.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import QUICK
+
+from repro.experiments.harness import build_stack
+from repro.serverless.driver import ServerlessConfig, run_serverless
+
+N_INSTANCES = 250 if QUICK else 1000
+MODES = ("oracle", "proc", "spml", "epml")
+
+CFG = ServerlessConfig(
+    n_instances=N_INSTANCES,
+    n_tenants=4,
+    region_pages=64,
+    seed=1234,
+)
+
+
+def _run(mode: str):
+    """One full churn run on a fresh stack (nothing cached or shared)."""
+    stack = build_stack(vm_mb=64, n_vcpus=1)
+    return run_serverless(stack.kernel, mode, CFG)
+
+
+def test_churn_cost_and_determinism(benchmark):
+    t0 = time.perf_counter()
+    results = {mode: _run(mode) for mode in MODES}
+    wall_s = time.perf_counter() - t0
+    # The benchmark fixture measures one representative re-run; the
+    # sweep above is what the assertions consume.
+    benchmark.pedantic(_run, args=(MODES[0],), rounds=1, iterations=1)
+
+    print(f"\nserverless churn: {N_INSTANCES} instances x {len(MODES)} modes, "
+          f"wall {wall_s:.2f}s")
+    print(f"{'mode':8s} {'tracker ms':>11s} {'total ms':>10s} "
+          f"{'us/instance':>12s}")
+    for mode, r in results.items():
+        per_inst = r.tracker_us / r.n_instances
+        print(f"{mode:8s} {r.tracker_us / 1e3:11.1f} {r.total_us / 1e3:10.1f} "
+              f"{per_inst:12.1f}")
+        benchmark.extra_info[f"{mode}_tracker_us"] = r.tracker_us
+        assert r.n_instances == N_INSTANCES
+
+    # Correctness: the merged snapshots are byte-identical across every
+    # technique — tracking choice must never change the merged bytes.
+    digests = {r.combined_digest for r in results.values()}
+    assert len(digests) == 1, f"techniques disagree on merged bytes: {digests}"
+
+    # Determinism: an independent repeat run (fresh stack, same seed)
+    # reproduces the merged snapshot byte for byte.
+    for mode in ("oracle", "epml"):
+        assert _run(mode).combined_digest == results[mode].combined_digest
+
+    # Shape: under churn, per-instance attach cost rules.  The OoH
+    # techniques pay shadow-buffer setup hypercalls per attach and fall
+    # far behind /proc; the oracle (free attach, free collect) floors.
+    oracle, proc = results["oracle"], results["proc"]
+    for mode in MODES:
+        assert oracle.tracker_us <= results[mode].tracker_us
+    for ooh_mode in ("spml", "epml"):
+        assert results[ooh_mode].tracker_us > 5.0 * proc.tracker_us, (
+            f"{ooh_mode} should pay heavily for per-instance attach at churn"
+        )

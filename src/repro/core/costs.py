@@ -101,6 +101,8 @@ EV_MIGRATION_SEND = "migration_page_send"  # pre-copy page transfer
 EV_NET_PAGE_PULL = "net_page_pull"  # post-copy demand fetch over the link
 EV_NET_BACKOFF = "net_backoff"  # partition retry wait
 EV_POSTCOPY_SWITCH = "postcopy_switchover"  # pre->post-copy state handoff
+EV_SNAPSHOT_MAP = "snapshot_map"  # serverless CoW restore mapping
+EV_SNAPSHOT_COPY = "snapshot_copy"  # serverless diff read / merge write
 
 
 @dataclass(frozen=True)
@@ -147,6 +149,11 @@ class CostParams:
     net_spike_factor: float = 10.0  # latency multiplier under a spike fault
     net_backoff_us: float = 200.0  # wait per partition-retry attempt
     postcopy_state_us: float = 300.0  # pre->post-copy switchover bookkeeping
+    # Serverless snapshot layer.  Mapping is a CoW remap (page-table play,
+    # no copy); diff extraction and merge move page contents, so they pay
+    # a memcpy-rate per-page cost.
+    snapshot_map_us_per_page: float = 0.12  # CoW mapping bookkeeping
+    snapshot_copy_us_per_page: float = 0.45  # diff read / merge write memcpy
 
     def with_overrides(self, **kwargs: float) -> "CostParams":
         """Return a copy with some fields replaced (ablation support)."""

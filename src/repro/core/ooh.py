@@ -47,7 +47,7 @@ from repro.core.costs import (
     CostModel,
 )
 from repro.core.ringbuffer import RingBuffer
-from repro.errors import TrackingError
+from repro.errors import TrackerDetachedError, TrackingError
 from repro.guest.kernel import GuestKernel
 from repro.guest.process import Process
 from repro.hw import vmcs as vmcsf
@@ -101,6 +101,10 @@ class OohAttachment:
         self.kind = kind
         self.ring = ring
         self.active = True
+        #: Set by :meth:`OohModule.force_detach` (crash-only teardown):
+        #: distinguishes a racing collect (lost entries, recoverable)
+        #: from plain use-after-detach misuse.
+        self.force_detached = False
         self.last_stats = CollectStats()
         #: When True, any detected entry loss (ring overflow, circuit
         #: drop, swallowed vmexit) triggers a conservative resync: the
@@ -124,7 +128,16 @@ class OohAttachment:
     def collect(self) -> np.ndarray:
         """Fetch dirty VPNs logged since the previous collect."""
         if not self.active:
-            raise TrackingError("collect on a detached OoH attachment")
+            if self.force_detached:
+                # Force-detach can race a collect (crash-only teardown);
+                # the entries logged since the last collect are gone, so
+                # this is a loss condition, not misuse — recovery layers
+                # (the fallback chain) conservatively resync.
+                raise TrackerDetachedError(
+                    "collect on a force-detached OoH attachment: "
+                    "logged entries lost"
+                )
+            raise TrackingError("fetch on a detached OoH attachment")
         if self.kind is OohKind.SPML:
             return self.module._collect_spml(self)
         return self.module._collect_epml(self)
@@ -583,6 +596,7 @@ class OohModule:
         if att is None:
             return
         att.active = False
+        att.force_detached = True
         hooks = getattr(att, "_hooks", None)
         if hooks is not None:
             self.kernel.scheduler.remove_hooks(*hooks)

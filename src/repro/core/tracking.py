@@ -26,7 +26,13 @@ from repro.guest.process import Process
 from repro.obs import trace as otr
 from repro.obs.events import EventKind
 
-__all__ = ["Technique", "DirtyPageTracker", "make_tracker", "register_technique"]
+__all__ = [
+    "Technique",
+    "DirtyPageTracker",
+    "available_modes",
+    "make_tracker",
+    "register_technique",
+]
 
 
 class Technique(enum.Enum):
@@ -123,6 +129,18 @@ def register_technique(cls: type[DirtyPageTracker]) -> type[DirtyPageTracker]:
         raise TrackingError(f"{cls.__name__} lacks a technique attribute")
     _REGISTRY[technique] = cls
     return cls
+
+
+def available_modes() -> tuple[str, ...]:
+    """Mode strings with a registered implementation, in enum order.
+
+    The serverless facade (and anything else selecting a technique by
+    string) sweeps this instead of hard-coding the technique list, so a
+    newly registered technique is picked up everywhere at once.
+    """
+    from repro.core import techniques as _impls  # noqa: F401
+
+    return tuple(t.value for t in Technique if t in _REGISTRY)
 
 
 def make_tracker(

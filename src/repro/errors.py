@@ -72,6 +72,14 @@ class ResyncRequired(ReproError):
     region as dirty — before trusting the log again."""
 
 
+class TrackerDetachedError(ResyncRequired):
+    """A collect hit an attachment that was force-detached underneath it
+    (crash-only teardown).  Any dirty addresses logged between the last
+    successful collect and the detach are gone, so this *is* a lost-event
+    condition: recovery layers (the fallback chain) must conservatively
+    resynchronise, exactly as for :class:`ResyncRequired`."""
+
+
 class PmlError(ReproError):
     """PML circuit misuse (e.g. enabling without a buffer configured)."""
 

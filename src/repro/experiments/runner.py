@@ -35,6 +35,7 @@ from repro.experiments.harness import (
 from repro.experiments.tables import fmt_ms, fmt_pct, render_table
 from repro.fleet.experiment import exp_fleet
 from repro.obs import trace as otr
+from repro.serverless.experiment import exp_serverless
 from repro.trackers.boehm import GcParams
 
 __all__ = ["ExperimentOutput", "EXPERIMENTS", "run_experiment", "main"]
@@ -426,6 +427,7 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentOutput]] = {
     "fig10_11": exp_fig10_11,
     "fault_matrix": exp_fault_matrix,
     "fleet": exp_fleet,
+    "serverless": exp_serverless,
 }
 
 
@@ -449,6 +451,7 @@ EXPERIMENT_FAMILIES: list[list[str]] = [
     ["fig10_11"],
     ["fault_matrix"],
     ["fleet"],
+    ["serverless"],
 ]
 
 
@@ -492,6 +495,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--vms", type=int, default=None, metavar="N",
                         help="fleet experiment: number of VMs to drain "
                              "(sets REPRO_FLEET_VMS)")
+    parser.add_argument("--instances", type=int, default=None, metavar="N",
+                        help="serverless experiment: function instances to "
+                             "run (sets REPRO_SERVERLESS_INSTANCES)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect observability metrics during the runs "
                              "and print the registry afterwards (forces "
@@ -521,6 +527,12 @@ def main(argv: list[str] | None = None) -> int:
             if args.vms < 1:
                 parser.error("--vms must be >= 1")
             os.environ["REPRO_FLEET_VMS"] = str(args.vms)
+    if args.instances is not None:
+        import os
+
+        if args.instances < 1:
+            parser.error("--instances must be >= 1")
+        os.environ["REPRO_SERVERLESS_INSTANCES"] = str(args.instances)
     if args.trace_out and not args.metrics:
         parser.error("--trace-out requires --metrics")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

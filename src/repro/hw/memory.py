@@ -163,6 +163,17 @@ class PhysicalMemory:
         )
         self._write_seq += np.uint64(size)
 
+    def store_trusted(self, frames: np.ndarray, tokens: np.ndarray) -> None:
+        """:meth:`store` minus conversion and bounds checks.
+
+        Hot-path variant for serverless snapshot restore: ``frames`` comes
+        straight from a page-table translate of mapped VPNs (already
+        validated) and ``tokens`` from a snapshot array of matching size,
+        so the per-restore min/max scan would be pure overhead across
+        thousands of short-lived instances.
+        """
+        self._content[frames] = tokens
+
     def read(self, frames: np.ndarray | list[int]) -> np.ndarray:
         """Return content tokens of the given frames."""
         arr = np.asarray(frames, dtype=np.int64).ravel()

@@ -641,3 +641,17 @@ class Mmu:
         gpfns = pt.translate(vpns)
         hpfns = self.ept.translate(gpfns)
         self.host_mem.store(hpfns, tokens)
+
+    def map_page_contents(
+        self, pt: PageTable, vpns: np.ndarray, tokens: np.ndarray
+    ) -> None:
+        """:meth:`write_page_contents` minus the store-path checks.
+
+        Serverless snapshot restore maps thousands of instances from the
+        same snapshot; ``vpns`` comes from the page table's own mapped set
+        and ``tokens`` from a snapshot array of identical length, so the
+        per-instance validation would be pure overhead.
+        """
+        gpfns = pt.translate(vpns)
+        hpfns = self.ept.translate(gpfns)
+        self.host_mem.store_trusted(hpfns, tokens)

@@ -66,6 +66,12 @@ class EventKind(enum.Enum):
     COLLECT_STATS = "collect_stats"
     #: Detected loss forced a conservative resync [core/ooh].
     RESYNC = "resync"
+    #: A snapshot's contents were CoW-mapped over a region [serverless].
+    SNAPSHOT_MAP = "snapshot_map"
+    #: An instance extracted its byte-exact dirty diff [serverless].
+    SNAPSHOT_DIFF = "snapshot_diff"
+    #: A batch of diffs was merged into a snapshot [serverless].
+    SNAPSHOT_MERGE = "snapshot_merge"
 
 
 @dataclass(frozen=True)

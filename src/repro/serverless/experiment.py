@@ -1,0 +1,122 @@
+"""The ``serverless`` experiment: technique survival under churn.
+
+Runs the same seeded bursty multi-tenant schedule under several tracking
+modes and tabulates what the churn profile costs each of them: thousands
+of short-lived instances mean per-instance attach/detach overhead that
+migration-style workloads amortize away.  The merged snapshot digest is
+asserted identical across modes — the byte-exact diff filter makes the
+merged image a pure function of the schedule, so a digest mismatch means
+a tracker dropped dirty pages.
+
+Configured via the environment (CLI: ``--instances``):
+``REPRO_SERVERLESS_INSTANCES`` / ``REPRO_SERVERLESS_TENANTS`` /
+``REPRO_SERVERLESS_PAGES`` / ``REPRO_SERVERLESS_SEED`` /
+``REPRO_SERVERLESS_MODES`` (comma-separated).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import WorkloadError
+from repro.experiments.cache import EXPERIMENT_CACHE
+from repro.serverless.driver import (
+    ServerlessConfig,
+    ServerlessRunResult,
+    run_serverless,
+)
+
+__all__ = ["exp_serverless", "serverless_result"]
+
+DEFAULT_MODES = "oracle,epml,spml,proc"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, str(default)))
+
+
+def serverless_result(
+    mode: str, cfg: ServerlessConfig, n_vcpus: int | None = None
+) -> ServerlessRunResult:
+    """One memo-cached serverless run (fresh stack per run)."""
+    from repro.experiments.harness import _default_n_vcpus, build_stack
+
+    vcpus = n_vcpus if n_vcpus is not None else _default_n_vcpus()
+    key = (
+        "serverless",
+        mode,
+        cfg.n_instances,
+        cfg.n_tenants,
+        cfg.region_pages,
+        cfg.seed,
+        cfg.mean_burst,
+        cfg.plan_variants,
+        vcpus,
+    )
+
+    def _run() -> ServerlessRunResult:
+        # Host sized with headroom: instances are sequential, so the
+        # footprint is one region + kernel structures, not the sum.
+        stack = build_stack(vm_mb=64, n_vcpus=vcpus)
+        return run_serverless(stack.kernel, mode, cfg)
+
+    return EXPERIMENT_CACHE.get_or_run(key, _run)
+
+
+def exp_serverless(quick: bool = False):
+    """Registry entry: the churn comparison rendered as a table."""
+    from repro.experiments.runner import ExperimentOutput
+    from repro.experiments.tables import fmt_ms, render_table
+
+    modes = [
+        m.strip()
+        for m in os.environ.get("REPRO_SERVERLESS_MODES", DEFAULT_MODES).split(",")
+        if m.strip()
+    ]
+    cfg = ServerlessConfig(
+        n_instances=_env_int(
+            "REPRO_SERVERLESS_INSTANCES", 80 if quick else 400
+        ),
+        n_tenants=_env_int("REPRO_SERVERLESS_TENANTS", 4),
+        region_pages=_env_int("REPRO_SERVERLESS_PAGES", 64),
+        seed=_env_int("REPRO_SERVERLESS_SEED", 1234),
+    )
+    results = {m: serverless_result(m, cfg) for m in modes}
+    digests = {r.combined_digest for r in results.values()}
+    if len(digests) != 1:
+        raise WorkloadError(
+            "merged snapshots diverged across modes: "
+            + ", ".join(f"{m}={r.combined_digest}" for m, r in results.items())
+        )
+    headers = [
+        "mode", "instances", "bursts", "diff pages", "merged pages",
+        "tracker ms", "total ms", "digest",
+    ]
+    rows = [
+        [
+            m,
+            r.n_instances,
+            r.n_bursts,
+            r.n_pages_diffed,
+            r.n_pages_merged,
+            fmt_ms(r.tracker_us),
+            fmt_ms(r.total_us),
+            r.combined_digest.split("|")[0].split(":")[1],
+        ]
+        for m, r in results.items()
+    ]
+    text = render_table(
+        headers, rows,
+        f"Serverless churn: {cfg.n_instances} instances, "
+        f"{cfg.n_tenants} tenants, {cfg.region_pages}-page regions "
+        f"(seed {cfg.seed})",
+    )
+    return ExperimentOutput(
+        "serverless", headers, rows, text,
+        extra={
+            "config": cfg,
+            "digest": next(iter(digests)),
+            "tracker_us": {m: r.tracker_us for m, r in results.items()},
+            "versions": {m: r.versions for m, r in results.items()},
+        },
+    )

@@ -1,0 +1,116 @@
+"""One serverless function instance: restore → execute → diff → exit.
+
+The lifecycle mirrors a faabric/Firecracker-style invocation:
+
+1. **spawn** a short-lived process sized to the snapshot;
+2. **prefault** the region with reads (demand paging maps the pages
+   without dirtying them);
+3. **map** the snapshot's contents over the region (CoW restore);
+4. **track** — start the facade, execute the tenant's (frozen, reused)
+   access plan, stamp the function's deterministic output tokens;
+5. **diff** — extract the byte-exact delta with the commit sequence the
+   driver assigned;
+6. **exit** — stop tracking, tear the process down, frames return to the
+   guest allocator for the next instance.
+
+Output stamping is what keeps merged snapshots schedule-independent: a
+real function's output bytes depend on its input, not on host scheduling,
+but the simulator's organic write tokens are global-sequence numbers.
+After the plan runs (organically, through the MMU — that is what the
+trackers observe), the instance overwrites its written pages with
+:func:`~repro.serverless.snapshot.output_tokens` derived from
+(tenant, request), via the store path (no dirty-bit side effects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.plan import AccessPlan, PlanSegment
+from repro.serverless.snapshot import Snapshot, SnapshotDiff, output_tokens
+from repro.serverless.tracker import UnifiedDirtyTracker
+
+__all__ = ["FunctionInstance", "plan_write_vpns"]
+
+#: Modes whose loss paths must resync for the merged diff to be complete.
+_RESYNC_MODES = frozenset({"spml", "epml"})
+
+
+def plan_write_vpns(plan: AccessPlan) -> np.ndarray:
+    """The distinct VPNs a plan writes, ascending (its output footprint)."""
+    written: list[np.ndarray] = []
+    for item in plan.items:
+        if not isinstance(item, PlanSegment):
+            continue
+        for vpns, write in item.batches:
+            if write is True:
+                written.append(vpns)
+            elif write is not False:
+                written.append(vpns[write])
+    if not written:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(written)).astype(np.int64)
+
+
+class FunctionInstance:
+    """One invocation of a tenant's function against its snapshot."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        mode: str,
+        snapshot: Snapshot,
+        tenant: str,
+        request_id: int,
+        plan: AccessPlan,
+        write_vpns: np.ndarray | None = None,
+        tracker_kwargs: dict | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.mode = mode
+        self.snapshot = snapshot
+        self.tenant = tenant
+        self.request_id = request_id
+        self.plan = plan
+        #: Precomputed per-plan by the driver (plans are reused across
+        #: thousands of instances; the scan is per-plan, not per-instance).
+        self.write_vpns = (
+            write_vpns if write_vpns is not None else plan_write_vpns(plan)
+        )
+        kwargs = dict(tracker_kwargs or {})
+        if mode in _RESYNC_MODES:
+            # Short-lived instances get exactly one collect; a lost batch
+            # would silently drop merged pages, so loss must resync.
+            kwargs.setdefault("resync_on_loss", True)
+        self.tracker_kwargs = kwargs
+
+    @property
+    def instance_id(self) -> str:
+        return f"{self.tenant}/{self.request_id}"
+
+    def run(self, commit_seq: int) -> SnapshotDiff:
+        """Execute the full lifecycle; return the byte-exact diff."""
+        kernel = self.kernel
+        n_pages = self.snapshot.n_pages
+        proc = kernel.spawn(self.instance_id, n_pages=n_pages)
+        proc.space.add_vma(n_pages, name="snapshot")
+        # Read-prefault: maps every page (minor faults) without setting
+        # dirty bits, so the restore image lands on present, clean pages.
+        kernel.access(proc, np.arange(n_pages, dtype=np.int64), False)
+        facade = UnifiedDirtyTracker(kernel, proc, self.mode, **self.tracker_kwargs)
+        region = facade.map_regions(self.snapshot)
+        facade.start_tracking()
+        try:
+            kernel.access_plan(proc, self.plan)
+            if self.write_vpns.size:
+                kernel.vm.mmu.write_page_contents(
+                    proc.space.pt,
+                    self.write_vpns,
+                    output_tokens(self.instance_id, self.write_vpns),
+                )
+            diff = facade.extract_diff(region, self.instance_id, commit_seq)
+        finally:
+            facade.stop_tracking()
+            kernel.exit_process(proc)
+        return diff

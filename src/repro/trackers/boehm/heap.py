@@ -59,6 +59,7 @@ class GcHeap:
         self.n_edges = 0
         self._csr: tuple[np.ndarray, np.ndarray] | None = None
         self._csr_edges = -1
+        self._csr_n_ids = -1
 
         # Per-size-class bump state: size -> (vpn, slots_used).
         self._bump: dict[int, tuple[int, int]] = {}
@@ -271,7 +272,14 @@ class GcHeap:
     # ------------------------------------------------------------------
     def csr(self) -> tuple[np.ndarray, np.ndarray]:
         """(indptr, dst) adjacency over all live edges."""
-        if self._csr is not None and self._csr_edges == self.n_edges:
+        # Keyed on the id count too: allocation grows the id space
+        # without adding edges, and a stale (shorter) indptr would make
+        # out_neighbors index past the end for the new ids.
+        if (
+            self._csr is not None
+            and self._csr_edges == self.n_edges
+            and self._csr_n_ids == self._n_ids
+        ):
             return self._csr
         if self.n_edges == 0:
             indptr = np.zeros(self._n_ids + 1, dtype=np.int64)
@@ -285,6 +293,7 @@ class GcHeap:
             np.cumsum(counts, out=indptr[1:])
             self._csr = (indptr, dst[order])
         self._csr_edges = self.n_edges
+        self._csr_n_ids = self._n_ids
         return self._csr
 
     def out_neighbors(self, ids: np.ndarray) -> np.ndarray:

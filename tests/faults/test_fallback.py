@@ -4,9 +4,10 @@ techniques and keeps reporting conservatively while a mechanism is down."""
 import numpy as np
 import pytest
 
+from repro.core.ooh import OohModule
 from repro.core.tracking import Technique, make_tracker
 from repro.core.techniques.fallback import FallbackTracker
-from repro.errors import TrackingError
+from repro.errors import ResyncRequired, TrackerDetachedError, TrackingError
 from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
 from repro.obs import trace as otr
 from repro.obs.events import EventKind
@@ -110,6 +111,54 @@ def test_single_blip_does_not_degrade(stack):
     assert tracker.current_technique is Technique.SPML
     assert tracker.n_fallbacks == 0
     assert session.trace.by_kind(EventKind.FALLBACK_TRANSITION) == []
+    tracker.stop()
+
+
+def test_detached_collect_raises_resync_required(stack):
+    """A collect racing a crash-only force-detach is a *loss* condition:
+    it must surface as ResyncRequired (recoverable), never as plain
+    TrackingError misuse, for both OoH kinds."""
+    proc = _spawn(stack)
+    for technique in (Technique.SPML, Technique.EPML):
+        tracker = make_tracker(technique, stack.kernel, proc)
+        tracker.start()
+        stack.kernel.access(proc, np.arange(8), True)
+        OohModule.shared(stack.kernel).force_detach()
+        with pytest.raises(TrackerDetachedError) as exc_info:
+            tracker.collect()
+        assert isinstance(exc_info.value, ResyncRequired)
+        tracker.abort()  # crash-only: the module state is already gone
+
+
+def test_force_detach_mid_interval_keeps_coverage(stack):
+    """A force-detach between writes and the collect loses the logged
+    entries — the chain must return a conservative interval covering the
+    writes and fall forward to a technique that does not need the module."""
+    proc = _spawn(stack)
+    tracker = FallbackTracker(
+        stack.kernel, proc,
+        chain=(Technique.SPML, Technique.PROC),
+        failure_threshold=1,
+    )
+    tracker.start()
+    assert tracker.current_technique is Technique.SPML
+    written = np.arange(48, dtype=np.int64)
+    stack.kernel.access(proc, written, True)
+    with otr.TraceSession().active() as session:
+        OohModule.shared(stack.kernel).force_detach()
+        got = tracker.collect()
+    # The detach-lost interval is covered conservatively...
+    assert set(written.tolist()) <= set(got.tolist())
+    # ...and the chain abandoned the detached mechanism.
+    assert tracker.current_technique is Technique.PROC
+    assert tracker.n_fallbacks == 1
+    old, new, reason = tracker.fallback_history[0]
+    assert (old, new) == ("spml", "proc")
+    assert "detached" in reason
+    _assert_transitions_traced(session, tracker)
+    # The replacement tracks subsequent writes without the module.
+    stack.kernel.access(proc, [3, 5], True)
+    assert {3, 5} <= set(tracker.collect().tolist())
     tracker.stop()
 
 

@@ -1,0 +1,44 @@
+"""Canonical small serverless runs frozen as golden traces.
+
+One fixed scenario per tracking mode: a 16 MiB VM, two tenants, twelve
+short-lived instances in seeded bursts over 32-page snapshot regions.
+The PML buffer is shrunk to 4 entries so even the small per-instance
+write sets (~8 pages) produce buffer-full events in the OoH-mode
+traces, and the full session runs with ``detail=True`` so
+SNAPSHOT_DIFF / SNAPSHOT_MERGE events carry their per-page offset lists
+— that payload is part of the frozen contract and what the trace
+invariants check.
+
+The vCPU count is pinned explicitly (never inherited from
+``REPRO_VCPUS``) so the frozen byte streams survive the SMP CI matrix
+leg; the 2-vCPU variant exercises instances landing on different vCPUs
+within one burst.
+"""
+
+from repro.experiments.harness import build_stack
+from repro.obs import trace as otr
+from repro.serverless.driver import ServerlessConfig, run_serverless
+
+GOLDEN_MODES = ("oracle", "proc", "epml")
+#: Modes with a 2-vCPU golden variant (``<mode>-smp2.jsonl``).
+GOLDEN_SMP_MODES = ("epml",)
+
+#: The frozen workload: small enough to diff by eye, large enough to
+#: cross at least two burst boundaries (two merges per tenant region).
+GOLDEN_CFG = ServerlessConfig(
+    n_instances=12,
+    n_tenants=2,
+    region_pages=32,
+    seed=7,
+    mean_burst=4,
+    plan_variants=2,
+)
+
+
+def canonical_run(mode: str, n_vcpus: int = 1) -> otr.TraceSession:
+    """Run the frozen serverless scenario for ``mode``; return its session."""
+    stack = build_stack(vm_mb=16, pml_buffer_entries=4, n_vcpus=n_vcpus)
+    session = otr.TraceSession()
+    with session.active():
+        run_serverless(stack.kernel, mode, GOLDEN_CFG)
+    return session

@@ -1,0 +1,145 @@
+"""Golden-trace regression for the serverless snapshot event kinds.
+
+Each canonical run (see :mod:`tests.serverless.golden_runs`) must
+serialize to a JSONL stream *byte-identical* to the checked-in file
+under ``golden/``.  Any change to the snapshot instrumentation seams
+(SNAPSHOT_MAP / SNAPSHOT_DIFF / SNAPSHOT_MERGE), their fields, or the
+driver's simulated control flow shows up as a diff here.
+
+Regenerating after an intentional change::
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest tests/serverless/test_golden_traces.py
+
+then review the golden-file diff like any other code change.
+
+The trace-*property* tests at the bottom check invariants that must hold
+for any serverless run, frozen or not: a diff may only claim pages the
+trace already logged written AND collected, and a merge may only touch
+pages some prior diff claimed.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import EventKind
+from repro.obs.trace import TraceBuffer
+
+from .golden_runs import GOLDEN_CFG, GOLDEN_MODES, GOLDEN_SMP_MODES, canonical_run
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (mode, n_vcpus) scenarios frozen under ``golden/``.
+GOLDEN_SCENARIOS = (
+    [(m, 1) for m in GOLDEN_MODES] + [(m, 2) for m in GOLDEN_SMP_MODES]
+)
+
+
+def _golden_path(mode: str, n_vcpus: int) -> Path:
+    suffix = "" if n_vcpus == 1 else f"-smp{n_vcpus}"
+    return GOLDEN_DIR / f"{mode}{suffix}.jsonl"
+
+
+def _regolden() -> bool:
+    return os.environ.get("REPRO_REGOLDEN") == "1"
+
+
+@pytest.mark.parametrize("mode,n_vcpus", GOLDEN_SCENARIOS)
+def test_trace_matches_golden(mode, n_vcpus):
+    session = canonical_run(mode, n_vcpus=n_vcpus)
+    got = session.trace.to_jsonl()
+    assert got, f"canonical serverless {mode} run emitted no events"
+    path = _golden_path(mode, n_vcpus)
+    if _regolden():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(got)
+        pytest.skip(f"regenerated {path}")
+    assert path.is_file(), (
+        f"missing golden trace {path}; regenerate with REPRO_REGOLDEN=1"
+    )
+    assert got == path.read_text()
+
+
+@pytest.mark.parametrize("mode,n_vcpus", GOLDEN_SCENARIOS)
+def test_replay_is_deterministic(mode, n_vcpus):
+    """Two identical runs serialize byte-identically (no hidden state)."""
+    a = canonical_run(mode, n_vcpus=n_vcpus).trace.to_jsonl()
+    b = canonical_run(mode, n_vcpus=n_vcpus).trace.to_jsonl()
+    assert a == b
+
+
+@pytest.mark.parametrize("mode,n_vcpus", GOLDEN_SCENARIOS)
+def test_golden_roundtrips_through_parser(mode, n_vcpus):
+    """read_jsonl(write_jsonl(x)) preserves every event exactly."""
+    if _regolden():
+        pytest.skip("regolden pass")
+    path = _golden_path(mode, n_vcpus)
+    buf = TraceBuffer.read_jsonl(path)
+    assert buf.to_jsonl() == path.read_text()
+    assert len(buf) > 0
+
+
+def test_golden_traces_are_nontrivial():
+    """The frozen scenarios exercise the whole snapshot lifecycle: one
+    map and one diff per instance, at least one merge per tenant, and —
+    for the OoH mode — real PML traffic underneath."""
+    if _regolden():
+        pytest.skip("regolden pass")
+    for mode in GOLDEN_MODES:
+        counts = TraceBuffer.read_jsonl(_golden_path(mode, 1)).kind_counts()
+        assert counts.get("snapshot_map", 0) == GOLDEN_CFG.n_instances
+        assert counts.get("snapshot_diff", 0) == GOLDEN_CFG.n_instances
+        assert counts.get("snapshot_merge", 0) >= GOLDEN_CFG.n_tenants
+    epml = TraceBuffer.read_jsonl(_golden_path("epml", 1)).kind_counts()
+    assert epml.get("pml_full", 0) > 0
+    assert epml.get("self_ipi", 0) > 0
+
+
+# ---------------------------------------------------------------------
+# trace-property invariants (hold for any serverless run)
+# ---------------------------------------------------------------------
+def _check_snapshot_invariants(events):
+    """Every merged page was first claimed by a diff; every diffed page
+    was first logged written (WRITE) and reported dirty (COLLECT).
+
+    The driver maps every region at vpn 0, so region-relative offsets
+    and trace vpns coincide.  WRITE/COLLECT state resets at each
+    SNAPSHOT_MAP: a map starts a fresh instance in a fresh process, so
+    earlier instances' writes must not be needed to justify its diff.
+    """
+    written: set[int] = set()
+    collected: set[int] = set()
+    diffed: dict[str, set[int]] = {}
+    n_diffs = n_merges = 0
+    for e in events:
+        if e.kind is EventKind.SNAPSHOT_MAP:
+            written, collected = set(), set()
+        elif e.kind is EventKind.WRITE and "vpns" in e.fields:
+            written.update(e.fields["vpns"])
+        elif e.kind is EventKind.COLLECT:
+            collected.update(e.fields["vpns"])
+        elif e.kind is EventKind.SNAPSHOT_DIFF:
+            n_diffs += 1
+            offsets = set(e.fields["offsets"])
+            assert offsets <= written, (
+                f"diff claims never-written pages: {offsets - written}"
+            )
+            assert offsets <= collected, (
+                f"diff claims never-collected pages: {offsets - collected}"
+            )
+            diffed.setdefault(e.fields["snapshot"], set()).update(offsets)
+        elif e.kind is EventKind.SNAPSHOT_MERGE:
+            n_merges += 1
+            offsets = set(e.fields["offsets"])
+            claimed = diffed.get(e.fields["snapshot"], set())
+            assert offsets <= claimed, (
+                f"merge touches pages no diff claimed: {offsets - claimed}"
+            )
+    assert n_diffs > 0 and n_merges > 0
+
+
+@pytest.mark.parametrize("mode,n_vcpus", GOLDEN_SCENARIOS)
+def test_merged_pages_were_logged_dirty(mode, n_vcpus):
+    session = canonical_run(mode, n_vcpus=n_vcpus)
+    _check_snapshot_invariants(session.trace.events)

@@ -1,0 +1,111 @@
+"""Unit tests for the snapshot object: tokens, diffs, merge, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
+from repro.serverless.snapshot import (
+    Snapshot,
+    SnapshotDiff,
+    output_tokens,
+    stable_token,
+)
+
+
+def _diff(instance_id, commit_seq, pairs):
+    offsets = np.array(sorted(pairs), dtype=np.int64)
+    tokens = np.array([pairs[o] for o in sorted(pairs)], dtype=np.uint64)
+    return SnapshotDiff(instance_id, commit_seq, offsets, tokens)
+
+
+# ---------------------------------------------------------------------
+# tokens
+# ---------------------------------------------------------------------
+def test_stable_token_deterministic_and_nonzero():
+    assert stable_token("a", 1) == stable_token("a", 1)
+    assert stable_token("a", 1) != stable_token("a", 2)
+    assert stable_token("a", 1) != stable_token("b", 1)
+    assert stable_token("x") != 0
+
+
+def test_output_tokens_vectorised_and_namespaced():
+    offs = np.arange(32)
+    a = output_tokens("t0/1", offs)
+    b = output_tokens("t0/1", offs)
+    c = output_tokens("t0/2", offs)
+    assert a.dtype == np.uint64
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert np.all(a != 0)
+    # Distinct offsets get distinct tokens (splitmix is bijective).
+    assert np.unique(a).size == offs.size
+
+
+# ---------------------------------------------------------------------
+# diffs
+# ---------------------------------------------------------------------
+def test_diff_validates_shape():
+    with pytest.raises(WorkloadError):
+        SnapshotDiff("i", 0, np.array([1, 2]), np.array([1], dtype=np.uint64))
+    with pytest.raises(WorkloadError):  # not strictly ascending
+        SnapshotDiff("i", 0, np.array([2, 1]), np.array([1, 2], dtype=np.uint64))
+    with pytest.raises(WorkloadError):  # negative offset
+        SnapshotDiff("i", 0, np.array([-1, 3]), np.array([1, 2], dtype=np.uint64))
+    d = SnapshotDiff("i", 0, np.array([1, 3]), np.array([4, 5], dtype=np.uint64))
+    assert d.n_pages == 2
+
+
+# ---------------------------------------------------------------------
+# snapshots
+# ---------------------------------------------------------------------
+def test_base_snapshot_deterministic():
+    a, b = Snapshot.base("fn", 64), Snapshot.base("fn", 64)
+    assert a.digest() == b.digest()
+    assert a.version == 0
+    assert Snapshot.base("other", 64).digest() != a.digest()
+
+
+def test_merge_last_writer_wins_by_commit_seq():
+    snap = Snapshot.base("fn", 16)
+    early = _diff("a", 1, {3: 100, 5: 101})
+    late = _diff("b", 2, {5: 200, 7: 201})
+    # Apply in deliberately reversed list order: commit_seq must rule.
+    stats = snap.merge([late, early])
+    assert stats.applied_ids == ["a", "b"]
+    assert stats.n_pages_applied == 4
+    assert stats.n_pages_unique == 3
+    assert snap.tokens[3] == 100
+    assert snap.tokens[5] == 200  # the later commit wins
+    assert snap.tokens[7] == 201
+    assert snap.version == 1
+
+
+def test_merge_rejects_duplicate_commit_seq_and_overflow():
+    snap = Snapshot.base("fn", 8)
+    with pytest.raises(WorkloadError):
+        snap.merge([_diff("a", 1, {0: 1}), _diff("b", 1, {1: 2})])
+    with pytest.raises(WorkloadError):
+        snap.merge([_diff("a", 1, {8: 1})])  # offset beyond the region
+
+
+def test_freeze_isolates_later_merges():
+    snap = Snapshot.base("fn", 8)
+    snap.merge([_diff("a", 1, {0: 11})])
+    frozen = snap.freeze()
+    snap.merge([_diff("b", 2, {0: 22})])
+    assert frozen.tokens[0] == 11  # not 22: freeze() copies
+    assert frozen.version == 1
+    assert snap.version == 2
+
+
+def test_merge_emits_event_with_detail_offsets():
+    snap = Snapshot.base("fn", 8)
+    session = otr.TraceSession()
+    with session.active():
+        snap.merge([_diff("a", 1, {2: 9, 6: 10})])
+    [event] = session.trace.by_kind(EventKind.SNAPSHOT_MERGE)
+    assert event.fields["n_diffs"] == 1
+    assert event.fields["offsets"] == [2, 6]
+    assert session.metrics.counter("snapshot.merges") == 1

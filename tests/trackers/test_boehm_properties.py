@@ -21,6 +21,25 @@ def fresh_heap():
     return kernel, heap
 
 
+def test_alloc_after_collect_grows_adjacency():
+    """Regression: a collect caches the CSR adjacency; allocating
+    afterwards grows the id space without adding edges, and marking must
+    not index the stale (shorter) indptr with the new ids."""
+    kernel, heap = fresh_heap()
+    gc = BoehmGc(kernel, heap, Technique.ORACLE,
+                 GcParams(threshold_bytes=1 << 30))
+    gc.start()
+    (a,) = heap.alloc(1, 64)
+    heap.add_roots([int(a)])
+    gc.collect()  # builds the CSR over a single object
+    ids = heap.alloc(2, 64)
+    heap.add_roots([int(ids[-1])])
+    gc._did_full = False  # force a full cycle (full_mark walks the CSR)
+    gc.collect()
+    assert {int(a), int(ids[-1])} <= {int(i) for i in heap.live_ids()}
+    gc.stop()
+
+
 # One step of heap history.
 step = st.one_of(
     st.tuples(st.just("alloc"), st.integers(1, 30),
