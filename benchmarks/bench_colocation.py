@@ -14,6 +14,7 @@ from conftest import QUICK
 
 from repro.core.tracking import Technique, make_tracker
 from repro.experiments.harness import build_stack
+from repro.hw.pagetable import PTE_DIRTY
 
 PAGES = 2048 if QUICK else 8192
 NOISE_LEVELS = [0, 4, 16]  # tenant writes as a multiple of tracked writes
@@ -50,19 +51,33 @@ def run_colocated(technique: Technique, noise: int):
     dirty = tracker.collect()
     collect_us = stack.clock.now_us - c0
     tracker.stop()
-    tenant_vpns = set()  # tracked-space VPNs only; tenant uses its own space
-    return dirty, collect_us, tenant_vpns
+    # Both address spaces number their VPNs from zero, so "no leakage"
+    # only means something in machine-frame terms: the GPFNs behind the
+    # tenant's PTE-dirty pages vs the GPFNs behind the collected set.
+    tenant_dirty_vpns = tenant.space.pt.vpns_with_flag(PTE_DIRTY)
+    tenant_gpfns = set(
+        int(g) for g in tenant.space.pt.translate(tenant_dirty_vpns)
+    )
+    dirty_gpfns = set(
+        int(g) for g in tracked.space.pt.translate(np.asarray(dirty))
+    ) if len(dirty) else set()
+    return dirty, collect_us, tenant_gpfns, dirty_gpfns
 
 
 @pytest.mark.parametrize("technique", [Technique.SPML, Technique.EPML])
 @pytest.mark.parametrize("noise", NOISE_LEVELS)
 def test_colocation_no_leakage(benchmark, technique, noise):
-    dirty, collect_us, _ = benchmark.pedantic(
+    dirty, collect_us, tenant_gpfns, dirty_gpfns = benchmark.pedantic(
         run_colocated, args=(technique, noise), rounds=1, iterations=1
     )
     benchmark.extra_info["collect_ms"] = collect_us / 1000
     # The tracked process wrote pages [0, PAGES/4) each round.
     assert set(int(v) for v in dirty) == set(range(PAGES // 4))
+    # No leakage, for real: the tenant dirtied plenty of machine frames
+    # (when noisy), and none of them may appear behind the collection.
+    if noise:
+        assert len(tenant_gpfns) >= PAGES
+    assert not (dirty_gpfns & tenant_gpfns)
     print(f"\n{technique.value} noise={noise}x: "
           f"dirty={dirty.size}, collect={collect_us / 1000:.1f} ms")
 

@@ -1,0 +1,57 @@
+"""Bench: the overcommit frontier's cost side (memory-economics layer).
+
+Extends ``bench_colocation.py``'s colocation story up one level: instead
+of two processes in one VM, whole VMs share a host past its physical
+capacity.  The bench runs the ``overcommit`` scenario across ratios and
+checks the frontier's shape — refault volume monotonically non-decreasing
+in the ratio, zero at 1.0 (the balloon never installed), per-round
+latency growing with the refault rate — while pytest-benchmark records
+what the reclaim/refault machinery costs in wall-clock terms.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.fleet.economics.experiment import run_overcommit_scenario
+
+RATIOS = [1.0, 1.5, 2.0] if QUICK else [1.0, 1.5, 2.0, 3.0]
+SEED = 11
+
+
+def run_ratio(ratio: float):
+    return run_overcommit_scenario(ratio, seed=SEED, quick=QUICK)
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_overcommit_ratio_point(benchmark, ratio):
+    result = benchmark.pedantic(run_ratio, args=(ratio,), rounds=1, iterations=1)
+    benchmark.extra_info["admitted"] = result.admitted
+    benchmark.extra_info["refaults_per_1k"] = round(
+        result.refaults_per_1k_accesses, 2
+    )
+    if ratio == 1.0:
+        # Control point: no economics object, no balloon, no refaults.
+        assert result.reclaimed_pages == 0
+        assert result.refault_pages == 0
+    else:
+        assert result.admitted >= RATIOS.index(ratio) and result.reclaimed_pages > 0
+    print(f"\nratio {ratio}: admitted={result.admitted} "
+          f"refault/1k={result.refaults_per_1k_accesses:.1f} "
+          f"round_us={result.mean_round_us:.1f}")
+
+
+def test_overcommit_frontier_monotone(benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_ratio(r) for r in RATIOS], rounds=1, iterations=1
+    )
+    rates = [r.refaults_per_1k_accesses for r in results]
+    admitted = [r.admitted for r in results]
+    # More overcommit admits at least as many tenants and refaults at
+    # least as often — the frontier the experiment table renders.
+    assert admitted == sorted(admitted)
+    assert rates == sorted(rates)
+    assert results[0].refault_pages == 0
+    assert results[-1].refault_pages > 0
+    # Latency follows the refault rate: the thrashiest point pays the
+    # most per round.
+    assert results[-1].mean_round_us > results[0].mean_round_us

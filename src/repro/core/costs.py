@@ -61,6 +61,9 @@ __all__ = [
     "EV_NET_PAGE_PULL",
     "EV_NET_BACKOFF",
     "EV_POSTCOPY_SWITCH",
+    "EV_BALLOON_PAGE",
+    "EV_RECLAIM_COPY",
+    "EV_REFAULT_COPY",
 ]
 
 # ---------------------------------------------------------------------------
@@ -103,6 +106,9 @@ EV_NET_BACKOFF = "net_backoff"  # partition retry wait
 EV_POSTCOPY_SWITCH = "postcopy_switchover"  # pre->post-copy state handoff
 EV_SNAPSHOT_MAP = "snapshot_map"  # serverless CoW restore mapping
 EV_SNAPSHOT_COPY = "snapshot_copy"  # serverless diff read / merge write
+EV_BALLOON_PAGE = "balloon_page"  # hypervisor EPT map/unmap per ballooned page
+EV_RECLAIM_COPY = "reclaim_copy"  # reclaimed page content saved to swap store
+EV_REFAULT_COPY = "refault_copy"  # swap-store content reinstalled on refault
 
 
 @dataclass(frozen=True)
@@ -154,6 +160,13 @@ class CostParams:
     # a memcpy-rate per-page cost.
     snapshot_map_us_per_page: float = 0.12  # CoW mapping bookkeeping
     snapshot_copy_us_per_page: float = 0.45  # diff read / merge write memcpy
+    # Memory economics (fleet overcommit).  Balloon inflate/deflate is an
+    # EPT map/unmap plus free-list play per page inside one hypercall;
+    # reclaim/refault move page contents at memcpy rate (same order as the
+    # snapshot copy path, which models the identical operation).
+    balloon_page_us: float = 0.25  # per-page EPT map/unmap in the hypercall
+    reclaim_copy_us_per_page: float = 0.45  # victim content -> swap store
+    refault_copy_us_per_page: float = 0.45  # swap store -> fresh frame
 
     def with_overrides(self, **kwargs: float) -> "CostParams":
         """Return a copy with some fields replaced (ablation support)."""

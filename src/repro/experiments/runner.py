@@ -33,6 +33,7 @@ from repro.experiments.harness import (
     run_microbench,
 )
 from repro.experiments.tables import fmt_ms, fmt_pct, render_table
+from repro.fleet.economics.experiment import exp_overcommit
 from repro.fleet.experiment import exp_fleet
 from repro.obs import trace as otr
 from repro.serverless.experiment import exp_serverless
@@ -427,6 +428,7 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentOutput]] = {
     "fig10_11": exp_fig10_11,
     "fault_matrix": exp_fault_matrix,
     "fleet": exp_fleet,
+    "overcommit": exp_overcommit,
     "serverless": exp_serverless,
 }
 
@@ -451,6 +453,7 @@ EXPERIMENT_FAMILIES: list[list[str]] = [
     ["fig10_11"],
     ["fault_matrix"],
     ["fleet"],
+    ["overcommit"],
     ["serverless"],
 ]
 
@@ -498,6 +501,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--instances", type=int, default=None, metavar="N",
                         help="serverless experiment: function instances to "
                              "run (sets REPRO_SERVERLESS_INSTANCES)")
+    parser.add_argument("--overcommit-ratio", metavar="R[,R...]", default=None,
+                        help="overcommit experiment: comma-separated ratios "
+                             "to sweep (sets REPRO_OVERCOMMIT_RATIOS)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect observability metrics during the runs "
                              "and print the registry afterwards (forces "
@@ -533,6 +539,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.instances < 1:
             parser.error("--instances must be >= 1")
         os.environ["REPRO_SERVERLESS_INSTANCES"] = str(args.instances)
+    if args.overcommit_ratio is not None:
+        import os
+
+        try:
+            ratios = [float(t) for t in args.overcommit_ratio.split(",") if t.strip()]
+        except ValueError:
+            ratios = []
+        if not ratios or any(r < 1.0 for r in ratios):
+            parser.error("--overcommit-ratio needs comma-separated ratios >= 1.0")
+        os.environ["REPRO_OVERCOMMIT_RATIOS"] = args.overcommit_ratio
     if args.trace_out and not args.metrics:
         parser.error("--trace-out requires --metrics")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

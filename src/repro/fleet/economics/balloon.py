@@ -1,0 +1,281 @@
+"""Guest balloon driver: hypercall-driven frame reclaim + uffd refault.
+
+The reclaim datapath, virtio-balloon shaped but driven by the *host's*
+WSS signal (accessed-bit sampling needs no guest cooperation; the balloon
+driver is the one guest-side seam, exactly like the OoH module):
+
+* **inflate** — the driver picks cold victim pages (EPT accessed bit
+  still clear since the last WSS sample), saves their content tokens to
+  a swap store, unmaps the PTEs (with a TLB shootdown — every vCPU may
+  cache the dying translations) and hands the guest frames to the
+  hypervisor via ``HC_OOH_BALLOON_INFLATE``, which EPT-unmaps them and
+  returns the host frames to the pool.  Ballooned guest frames are held
+  by the driver — *not* returned to the guest allocator — so the guest
+  can never re-allocate an EPT-unbacked frame.
+* **refault** — the workload touches a reclaimed page: a uffd MISSING
+  fault fires (the driver registered the workload VMAs at attach), the
+  kernel maps a fresh guest frame, and the driver's miss resolver
+  re-backs held frames via ``HC_OOH_BALLOON_DEFLATE`` (restoring the
+  guest-frame float) and reinstalls the saved tokens before the MMU
+  completes the triggering access — UFFDIO_COPY ordering, so no dirty
+  page is ever lost across a reclaim/refault cycle.
+
+Both hypercalls go through the shared :class:`~repro.retry.Retrier`: an
+injected ``HYPERCALL_TRANSIENT`` EAGAIN or ``FRAME_EXHAUSTION`` inside
+the deflate allocation retries with charged backoff, like every other
+recovery path in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.clock import World
+from repro.core.costs import EV_RECLAIM_COPY, EV_REFAULT_COPY
+from repro.errors import ConfigurationError, TrackingError
+from repro.guest.uffd import UfdMode, UserFaultFd
+from repro.hypervisor.hypercalls import (
+    HC_OOH_BALLOON_DEFLATE,
+    HC_OOH_BALLOON_INFLATE,
+)
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
+from repro.retry import Retrier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.economics.reclaim import HostEconomics
+    from repro.fleet.host import FleetVm
+
+__all__ = ["BalloonDriver"]
+
+
+class BalloonDriver:
+    """One guest's balloon: swap store, held frames, refault resolver."""
+
+    def __init__(self, fvm: "FleetVm", economics: "HostEconomics") -> None:
+        if fvm.kernel is None or fvm.proc is None or fvm.vm is None:
+            raise ConfigurationError(
+                f"FleetVm {fvm.name} must be bound before ballooning"
+            )
+        if fvm.proc.uffd is not None:
+            raise TrackingError(
+                f"process of {fvm.name} already has a userfaultfd; the "
+                "balloon's refault path cannot share it"
+            )
+        self.fvm = fvm
+        self.economics = economics
+        self.kernel = fvm.kernel
+        self.proc = fvm.proc
+        self.vm = fvm.vm
+        #: vpn -> content token saved at reclaim (the swap store).
+        self._swap: dict[int, int] = {}
+        #: Guest frames held while their host backing is returned (LIFO).
+        self._held_gpfns: list[int] = []
+        self._retrier = Retrier(self.vm.clock, World.KERNEL)
+        self.reclaimed_pages = 0
+        self.refault_pages = 0
+        self.refault_faults = 0
+        #: Refaults currently being resolved (reentrancy guard: reclaim
+        #: triggered from inside a refault must not unmap batch pages).
+        self._inflight: set[int] = set()
+        # Refaults trap to userspace, lazy-pages style.
+        self.uffd: UserFaultFd = self.kernel.create_uffd(self.proc)
+        for vma in self.proc.space.vmas:
+            self.uffd.register(vma, UfdMode.MISSING)
+        self.uffd.add_miss_resolver(self._on_miss)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def ballooned_pages(self) -> int:
+        return len(self._held_gpfns)
+
+    @property
+    def resident_pages(self) -> int:
+        """Present workload pages (what reclaim can still take from)."""
+        pt = self.proc.space.pt
+        total = 0
+        for vma in self.proc.space.vmas:
+            vpns = np.arange(vma.start_vpn, vma.end_vpn, dtype=np.int64)
+            total += int(pt.present_mask(vpns).sum())
+        return total
+
+    # -- inflate (reclaim) ---------------------------------------------
+    def _victims(self, n: int) -> np.ndarray:
+        """Up to ``n`` present workload VPNs, coldest first (EPT accessed
+        bit clear since the last WSS sample), ascending VPN within each
+        class.  Pages of an access batch currently inside the MMU are
+        never victims: the fused access will still complete on them, and
+        unmapping one mid-fault would leave the resolved batch unmapped."""
+        pt = self.proc.space.pt
+        pools = []
+        for vma in self.proc.space.vmas:
+            vpns = np.arange(vma.start_vpn, vma.end_vpn, dtype=np.int64)
+            pools.append(vpns[pt.present_mask(vpns)])
+        if not pools:
+            return np.empty(0, dtype=np.int64)
+        cand = np.unique(np.concatenate(pools))
+        active = self.kernel.active_access_vpns(self.proc)
+        if active.size:
+            cand = cand[~np.isin(cand, active)]
+        if self._inflight:
+            cand = cand[~np.isin(cand, np.fromiter(
+                self._inflight, dtype=np.int64
+            ))]
+        if cand.size == 0:
+            return cand
+        gpfns = pt.translate(cand)
+        hot = self.vm.ept.accessed_mask(gpfns)
+        ordered = np.concatenate([cand[~hot], cand[hot]])
+        return ordered[:n]
+
+    def inflate(self, n_pages: int) -> int:
+        """Reclaim up to ``n_pages`` cold frames; returns how many host
+        frames were actually freed."""
+        if n_pages <= 0:
+            return 0
+        victims = self._victims(n_pages)
+        if victims.size == 0:
+            return 0
+        pt = self.proc.space.pt
+        tokens = self.vm.mmu.read_page_contents(pt, victims)
+        for v, t in zip(victims, tokens):
+            self._swap[int(v)] = int(t)
+        # Dying translations may be cached on any vCPU.
+        self.kernel.tlb_shootdown(self.proc, victims)
+        gpfns = pt.unmap(victims)
+        self.vm.clock.charge(
+            victims.size * self.vm.costs.params.reclaim_copy_us_per_page,
+            World.KERNEL,
+            EV_RECLAIM_COPY,
+            int(victims.size),
+        )
+        self._retrier.call(
+            lambda: self.vm.vcpu.hypercall(HC_OOH_BALLOON_INFLATE, gpfns)
+        )
+        self._held_gpfns.extend(int(g) for g in gpfns)
+        self.reclaimed_pages += int(victims.size)
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(
+                EventKind.BALLOON_INFLATE,
+                vm=self.fvm.name,
+                n_pages=int(victims.size),
+                ballooned=len(self._held_gpfns),
+            )
+            otr.ACTIVE.metrics.inc("economics.reclaimed_pages", int(victims.size))
+        return int(victims.size)
+
+    # -- refault (deflate) ---------------------------------------------
+    def _on_miss(self, vpns: np.ndarray, write_mask: np.ndarray) -> None:
+        vpns = np.asarray(vpns, dtype=np.int64)
+        if vpns.size == 0:
+            return
+        self._inflight.update(int(v) for v in vpns)
+        try:
+            # Every miss consumed one fresh guest frame; release the same
+            # number of held frames so the guest allocator float is
+            # restored.  Host frames must exist for the deflate — under
+            # pressure the controller reclaims them from other guests.
+            k = min(int(vpns.size), len(self._held_gpfns))
+            if k > 0:
+                self.economics.ensure_free(k, requester=self)
+                batch = np.array(self._held_gpfns[-k:], dtype=np.int64)
+                del self._held_gpfns[-k:]
+                self._retrier.call(
+                    lambda: self.vm.vcpu.hypercall(
+                        HC_OOH_BALLOON_DEFLATE, batch
+                    )
+                )
+                self.vm.guest_frames.free(batch)
+                if otr.ACTIVE is not None:
+                    otr.ACTIVE.emit(
+                        EventKind.BALLOON_DEFLATE,
+                        vm=self.fvm.name,
+                        n_pages=k,
+                        ballooned=len(self._held_gpfns),
+                    )
+            # Reinstall saved contents for the reclaimed pages in the
+            # batch, before the MMU completes the triggering access.
+            refaults = [int(v) for v in vpns if int(v) in self._swap]
+            if refaults:
+                arr = np.array(refaults, dtype=np.int64)
+                tokens = np.array(
+                    [self._swap.pop(v) for v in refaults], dtype=np.uint64
+                )
+                self.vm.mmu.write_page_contents(self.proc.space.pt, arr, tokens)
+                self.vm.clock.charge(
+                    arr.size * self.vm.costs.params.refault_copy_us_per_page,
+                    World.KERNEL,
+                    EV_REFAULT_COPY,
+                    int(arr.size),
+                )
+                self.refault_pages += int(arr.size)
+                self.refault_faults += 1
+                if otr.ACTIVE is not None:
+                    otr.ACTIVE.emit(
+                        EventKind.BALLOON_REFAULT,
+                        vm=self.fvm.name,
+                        n_pages=int(arr.size),
+                    )
+                    otr.ACTIVE.metrics.inc(
+                        "economics.refault_pages", int(arr.size)
+                    )
+        finally:
+            self._inflight.difference_update(int(v) for v in vpns)
+
+    def deflate_all(self) -> int:
+        """Drain the balloon: re-back every held frame and reinstall
+        every swapped token, making the guest image whole again.  The
+        orchestrator calls this before a migration reads the source —
+        ``_source_contents`` only sees present pages, so a swapped token
+        left behind would be silently lost in transit."""
+        pt = self.proc.space.pt
+        vpns = np.array(sorted(self._swap), dtype=np.int64)
+        if self._held_gpfns:
+            self.economics.ensure_free(len(self._held_gpfns), requester=self)
+            batch = np.array(self._held_gpfns, dtype=np.int64)
+            self._held_gpfns.clear()
+            self._retrier.call(
+                lambda: self.vm.vcpu.hypercall(HC_OOH_BALLOON_DEFLATE, batch)
+            )
+            self.vm.guest_frames.free(batch)
+            if otr.ACTIVE is not None:
+                otr.ACTIVE.emit(
+                    EventKind.BALLOON_DEFLATE,
+                    vm=self.fvm.name,
+                    n_pages=int(batch.size),
+                    ballooned=0,
+                )
+        if vpns.size == 0:
+            return 0
+        gpfns = self._retrier.call(
+            lambda: self.vm.guest_frames.alloc(int(vpns.size))
+        )
+        pt.map(vpns, gpfns, writable=True, soft_dirty=True)
+        tokens = np.array(
+            [self._swap.pop(int(v)) for v in vpns], dtype=np.uint64
+        )
+        self.vm.mmu.write_page_contents(pt, vpns, tokens)
+        self.vm.clock.charge(
+            vpns.size * self.vm.costs.params.refault_copy_us_per_page,
+            World.KERNEL,
+            EV_REFAULT_COPY,
+            int(vpns.size),
+        )
+        self.refault_pages += int(vpns.size)
+        if otr.ACTIVE is not None:
+            otr.ACTIVE.emit(
+                EventKind.BALLOON_REFAULT,
+                vm=self.fvm.name,
+                n_pages=int(vpns.size),
+            )
+            otr.ACTIVE.metrics.inc("economics.refault_pages", int(vpns.size))
+        return int(vpns.size)
+
+    def close(self) -> None:
+        """Detach the refault path.  A live balloon is allowed here only
+        when the VM is being destroyed (eviction); migration must call
+        :meth:`deflate_all` first."""
+        self.uffd.remove_miss_resolver(self._on_miss)
+        self.uffd.close()

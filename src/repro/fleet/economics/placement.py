@@ -1,0 +1,80 @@
+"""WSS-aware bin packing: place VMs by estimated demand, not footprint.
+
+Admission goes through :meth:`~repro.fleet.host.Host.admit` — nominal
+footprints against the overcommit commit limit, estimated working sets
+(plus headroom) against physical capacity.  Ranking is best-fit by WSS:
+the feasible host left with the *least* WSS headroom after placement
+wins, which packs guests tightly and preserves the emptier hosts for the
+demand spikes the estimators have not seen yet.  Ties break on
+``host_id`` so packing is deterministic.
+
+:func:`pack` is the batch form — first-fit-decreasing over estimated
+working sets, the classic bin-packing heuristic — used by the overcommit
+experiment's admission waves; rejected specs stay pending and retry once
+sampling has shrunk the resident estimates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs import trace as otr
+from repro.obs.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.host import FleetVm, Host, VmSpec
+
+__all__ = ["wss_headroom_pages", "choose_host", "pack"]
+
+
+def wss_headroom_pages(host: "Host") -> int:
+    """Physical pages not claimed by resident working sets or in-flight
+    reservations — the packing currency."""
+    return host.capacity_pages - host.hot_pages - host.reserved_pages
+
+
+def choose_host(
+    hosts: list["Host"], spec: "VmSpec", wss_pages: int | None = None
+) -> "Host | None":
+    """Best-fit feasible host for ``spec`` (``None`` when nobody admits)."""
+    wss = spec.workload_pages if wss_pages is None else int(wss_pages)
+    feasible = [h for h in hosts if h.admit(spec, wss)]
+    if not feasible:
+        return None
+    best = min(feasible, key=lambda h: (wss_headroom_pages(h) - wss, h.host_id))
+    if otr.ACTIVE is not None:
+        otr.ACTIVE.emit(
+            EventKind.FLEET_PLACEMENT,
+            vm=spec.name,
+            host_id=best.host_id,
+            wss_pages=wss,
+            free_pages=int(best.free_pages),
+        )
+        otr.ACTIVE.metrics.inc(f"fleet.host.{best.host_id}.placements")
+    return best
+
+
+def pack(
+    hosts: list["Host"],
+    specs: list["VmSpec"],
+    wss_of: dict[str, int] | None = None,
+) -> tuple[list["FleetVm"], list["VmSpec"]]:
+    """First-fit-decreasing admission wave: place what fits, return
+    ``(placed fleet VMs, rejected specs)``.  Specs are visited in
+    descending estimated WSS (stable, so equal estimates keep submission
+    order) and *placed immediately* — later candidates see the earlier
+    admissions' pressure."""
+    wss_of = wss_of or {}
+
+    def est(spec: "VmSpec") -> int:
+        return int(wss_of.get(spec.name, spec.workload_pages))
+
+    placed: list["FleetVm"] = []
+    rejected: list["VmSpec"] = []
+    for spec in sorted(specs, key=est, reverse=True):
+        host = choose_host(hosts, spec, est(spec))
+        if host is None:
+            rejected.append(spec)
+        else:
+            placed.append(host.place(spec))
+    return placed, rejected

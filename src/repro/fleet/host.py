@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.clock import SimClock
 from repro.core.costs import CostModel
 from repro.errors import ConfigurationError
+from repro.fleet.economics.wss_history import WssHistory
 from repro.guest.kernel import GuestKernel
 from repro.guest.process import Process
 from repro.hypervisor.hypervisor import Hypervisor
@@ -48,6 +49,14 @@ class VmSpec:
     write_fraction: float = 1.0
     #: Guest compute charged per round (the workload's own work).
     compute_us_per_round: float = 200.0
+    #: Access locality: the first ``hot_fraction`` of the workload is the
+    #: hot region; each access lands there with probability
+    #: ``hot_weight``, else anywhere in the workload.  1.0 (the default)
+    #: is the original uniform stream, bit-identically (no extra RNG
+    #: draws) — the skew exists so WSS estimators have a cold tail to
+    #: find, which is what makes overcommit pay.
+    hot_fraction: float = 1.0
+    hot_weight: float = 0.9
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -72,6 +81,14 @@ class VmSpec:
             raise ConfigurationError(
                 f"compute_us_per_round must be >= 0: {self.compute_us_per_round}"
             )
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction must be in (0, 1]: {self.hot_fraction}"
+            )
+        if not 0.0 <= self.hot_weight <= 1.0:
+            raise ConfigurationError(
+                f"hot_weight must be in [0, 1]: {self.hot_weight}"
+            )
 
     @property
     def mem_pages(self) -> int:
@@ -91,9 +108,10 @@ class FleetVm:
         #: Auto-converge throttle in [0, 1): fraction of the round's
         #: accesses suppressed.
         self.throttle = 0.0
-        #: Most recent WSS estimate (pages); starts pessimistic at the
-        #: whole workload.
-        self.last_wss_pages = spec.workload_pages
+        #: Working-set sample history; starts pessimistic at the whole
+        #: workload.  ``last_wss_pages`` remains the scalar view the
+        #: placement path (and older tests) reads and writes.
+        self.wss = WssHistory(initial_pages=spec.workload_pages)
         self.n_rounds = 0
         self.host: Host | None = None
         self.vm: Vm | None = None
@@ -104,6 +122,15 @@ class FleetVm:
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def last_wss_pages(self) -> int:
+        """Most recent WSS planning estimate (pages)."""
+        return self.wss.planning_pages
+
+    @last_wss_pages.setter
+    def last_wss_pages(self, pages: int) -> None:
+        self.wss.record_estimate(int(pages))
 
     def bind(
         self, host: "Host", vm: Vm, kernel: GuestKernel, proc: Process
@@ -124,6 +151,13 @@ class FleetVm:
         spec = self.spec
         n = max(1, int(round(spec.writes_per_round * (1.0 - self.throttle))))
         vpns = self._rng.integers(0, spec.workload_pages, n)
+        if spec.hot_fraction < 1.0:
+            # Fold hot draws into the leading hot region; the uniform
+            # draw above is reused so hot_fraction == 1.0 specs keep the
+            # exact pre-skew random stream.
+            hot_span = max(1, int(spec.workload_pages * spec.hot_fraction))
+            in_hot = self._rng.random(n) < spec.hot_weight
+            vpns = np.where(in_hot, vpns % hot_span, vpns)
         if spec.write_fraction >= 1.0:
             writes: bool | np.ndarray = True
         else:
@@ -145,17 +179,32 @@ class Host:
     costs: CostModel
     mem_mb: float
     pml_buffer_entries: int = 512
+    #: Nominal footprint the host may promise, as a multiple of physical
+    #: capacity.  1.0 (the default) disables the economics layer entirely:
+    #: admission is the plain physical-frames check and no balloon is ever
+    #: installed, so the host is bit-identical to the pre-economics fleet.
+    overcommit_ratio: float = 1.0
     hypervisor: Hypervisor = field(init=False)
     vms: dict[str, FleetVm] = field(init=False, default_factory=dict)
     #: Frames promised to in-flight incoming migrations (the destination
     #: VM is not created until pre-copy finishes, but concurrent placement
     #: decisions must see the claim).
     reserved_pages: int = field(init=False, default=0)
+    #: Reclaim controller + balloon registry; present iff overcommitting.
+    economics: object | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
+        if self.overcommit_ratio < 1.0:
+            raise ConfigurationError(
+                f"overcommit_ratio must be >= 1.0: {self.overcommit_ratio}"
+            )
         self.hypervisor = Hypervisor(
             self.clock, self.costs, host_mem_mb=self.mem_mb
         )
+        if self.overcommit_ratio > 1.0:
+            from repro.fleet.economics.reclaim import HostEconomics
+
+            self.economics = HostEconomics(self)
 
     # -- capacity accounting ------------------------------------------
     @property
@@ -183,6 +232,49 @@ class Host:
     def fits(self, mem_pages: int) -> bool:
         return self.available_pages >= mem_pages
 
+    # -- overcommit accounting ----------------------------------------
+    @property
+    def nominal_pages(self) -> int:
+        """Sum of resident VMs' nominal footprints (what a no-overcommit
+        host would have to hold physically)."""
+        return sum(fvm.spec.mem_pages for fvm in self.vms.values())
+
+    @property
+    def commit_limit_pages(self) -> int:
+        """Nominal footprint ceiling: capacity times the overcommit ratio."""
+        return int(self.capacity_pages * self.overcommit_ratio)
+
+    @property
+    def pressure(self) -> float:
+        """Demand-over-capacity signal: resident working sets plus
+        in-flight reservations against physical frames.  Above ~1.0 the
+        hot sets alone exceed the machine — the thrash regime."""
+        return (self.hot_pages + self.reserved_pages) / float(
+            self.capacity_pages
+        )
+
+    def admit(self, spec: VmSpec, wss_pages: int | None = None) -> bool:
+        """Would this host accept ``spec``?
+
+        Without overcommit this is exactly :meth:`fits` on the footprint.
+        Overcommitting hosts admit against *estimated demand*: the
+        nominal footprint must stay under the commit limit, and the
+        resident working sets plus the candidate's (with the policy
+        headroom) must fit in physical frames — the balloon can always
+        squeeze cold pages out, but hot demand has nowhere to go.
+        """
+        if self.economics is None:
+            return self.fits(spec.mem_pages)
+        policy = self.economics.policy
+        wss = spec.workload_pages if wss_pages is None else int(wss_pages)
+        need = int(np.ceil(wss * (1.0 + policy.headroom)))
+        if self.nominal_pages + spec.mem_pages > self.commit_limit_pages:
+            return False
+        return (
+            self.hot_pages + self.reserved_pages + need
+            <= self.capacity_pages
+        )
+
     # -- VM lifecycle -------------------------------------------------
     def create_shell(self, spec: VmSpec) -> tuple[Vm, GuestKernel, Process]:
         """VM + kernel + an *unpopulated* process with the workload VMA
@@ -197,7 +289,14 @@ class Host:
         return vm, kernel, proc
 
     def place(self, spec: VmSpec) -> FleetVm:
-        """Boot a fresh fleet VM here, workload memory fully faulted in."""
+        """Boot a fresh fleet VM here, workload memory fully faulted in.
+
+        On an overcommitting host the eager footprint may exceed the free
+        frames; resident guests are ballooned down first, and the new
+        guest gets its own balloon so it can be a reclaim victim later.
+        """
+        if self.economics is not None:
+            self.economics.prepare_admission(spec.mem_pages)
         fvm = FleetVm(spec)
         vm, kernel, proc = self.create_shell(spec)
         kernel.access(
@@ -205,6 +304,8 @@ class Host:
         )
         fvm.bind(self, vm, kernel, proc)
         self.vms[spec.name] = fvm
+        if self.economics is not None:
+            self.economics.attach(fvm)
         return fvm
 
     def adopt(self, fvm: FleetVm) -> None:
@@ -214,4 +315,6 @@ class Host:
     def evict(self, fvm: FleetVm) -> None:
         """Tear down a migrated-away VM's source half."""
         self.vms.pop(fvm.name, None)
+        if self.economics is not None:
+            self.economics.detach(fvm.name)
         self.hypervisor.destroy_vm(fvm.spec.name)

@@ -256,27 +256,35 @@ class MigrationOrchestrator:
 
     # -- placement -----------------------------------------------------
     def estimate_wss(self, fvm: FleetVm) -> int:
-        """Refresh ``fvm.last_wss_pages`` by accessed-bit sampling."""
+        """Refresh ``fvm.last_wss_pages`` by accessed-bit sampling.
+
+        Each interval's sample lands in the VM's :class:`WssHistory`
+        (feeding the EWMA and the reclaim target) before the planning
+        estimate is refreshed; the published value is arithmetically
+        identical to the old ``WssEstimator.estimate_pages`` call.
+        """
         if self.policy.wss_intervals < 1:
             return fvm.last_wss_pages
         est = WssEstimator(fvm.vm)
-        fvm.last_wss_pages = est.estimate_pages(
-            fvm.run_round, self.policy.wss_intervals
-        )
-        return fvm.last_wss_pages
+        for _ in range(self.policy.wss_intervals):
+            s = est.sample(fvm.run_round)
+            fvm.wss.record(s.accessed_pages)
+        return fvm.wss.refresh_planning(self.policy.wss_intervals)
 
     def select_destination(
         self, fvm: FleetVm, exclude: tuple[str, ...] = ()
     ) -> Host:
-        """Most-headroom host that fits the VM: free frames minus resident
-        WSS pressure, first-in-fleet-order winning ties."""
+        """Most-headroom host that admits the VM: free frames minus
+        resident WSS pressure, first-in-fleet-order winning ties.
+        Feasibility is :meth:`Host.admit` — the plain footprint check on
+        stock hosts, the WSS-with-headroom check on overcommitted ones."""
         src_id = fvm.host.host_id if fvm.host is not None else None
         feasible = [
             h
             for h in self.hosts
             if h.host_id != src_id
             and h.host_id not in exclude
-            and h.fits(fvm.spec.mem_pages)
+            and h.admit(fvm.spec, fvm.last_wss_pages)
         ]
         if not feasible:
             raise ConfigurationError(
@@ -337,10 +345,17 @@ class MigrationOrchestrator:
         if fvm.host is None:
             raise ConfigurationError(f"FleetVm {fvm.name} is not placed")
         src = fvm.host
+        if src.economics is not None:
+            # The source image must be whole before it is read: re-back
+            # and reinstall any ballooned pages, else their swapped
+            # tokens would never reach the destination.
+            driver = src.economics.drivers.get(fvm.name)
+            if driver is not None:
+                driver.deflate_all()
         if dst is None:
             self.estimate_wss(fvm)
             dst = self.select_destination(fvm)
-        elif not dst.fits(fvm.spec.mem_pages):
+        elif not dst.admit(fvm.spec, fvm.last_wss_pages):
             raise ConfigurationError(
                 f"host {dst.host_id} cannot fit {fvm.name}"
             )
@@ -371,7 +386,11 @@ class MigrationOrchestrator:
 
     def _dest_shell(self, st: _MigrationState):
         """Create the destination VM, converting the reservation into the
-        real frame allocation."""
+        real frame allocation.  An overcommitted destination may have
+        admitted on WSS alone; balloon residents down for the eager
+        footprint first."""
+        if st.dst.economics is not None:
+            st.dst.economics.ensure_free(st.fvm.spec.mem_pages)
         shell = st.dst.create_shell(st.fvm.spec)
         st.dst.reserved_pages -= st.fvm.spec.mem_pages
         return shell
@@ -476,7 +495,11 @@ class MigrationOrchestrator:
             report.postcopy = st.dest.report
         report.integrity_ok = self._verify_integrity(st)
         st.src.vms.pop(st.fvm.name, None)
+        if st.src.economics is not None:
+            st.src.economics.detach(st.fvm.name)
         st.dst.adopt(st.fvm)
+        if st.dst.economics is not None and st.dst.economics.can_manage(st.fvm):
+            st.dst.economics.attach(st.fvm)
         if destroy_source:
             st.src.hypervisor.destroy_vm(st.fvm.spec.name)
         st.fvm.throttle = 0.0

@@ -92,13 +92,10 @@ class PostCopyDestination:
         self.uffd: UserFaultFd = kernel.create_uffd(proc)
         for vma in proc.space.vmas:
             self.uffd.register(vma, UfdMode.MISSING)
-        original_deliver = self.uffd.deliver_miss_faults
+        self.uffd.add_miss_resolver(self._on_miss)
 
-        def deliver(vpns: np.ndarray, write_mask=None) -> None:
-            original_deliver(vpns, write_mask)
-            self._resolve(np.asarray(vpns, dtype=np.int64))
-
-        self.uffd.deliver_miss_faults = deliver  # type: ignore[method-assign]
+    def _on_miss(self, vpns: np.ndarray, write_mask: np.ndarray) -> None:
+        self._resolve(np.asarray(vpns, dtype=np.int64))
 
     def _resolve(self, vpns: np.ndarray) -> None:
         """Install transferred contents for freshly-resolved pages; pages

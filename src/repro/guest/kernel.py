@@ -69,6 +69,11 @@ class GuestKernel:
         self.processes: dict[int, Process] = {}
         self._fault_handlers: dict[int, ProcessFaultHandler] = {}
         self._access_listeners: list[AccessListener] = []
+        #: pid -> vpns of the access batch currently inside the MMU.
+        #: Consumers that unmap pages from *inside* a fault resolution
+        #: (the balloon's refault-triggered reclaim) must not touch the
+        #: batch the fused access will still complete.
+        self._active_access: dict[int, np.ndarray] = {}
         self._next_pid = 1
         #: Per-vCPU queues of (tlb, vpns-or-None) shootdown work; drained
         #: by the VECTOR_TLB_SHOOTDOWN handler on the target vCPU (None
@@ -159,17 +164,30 @@ class GuestKernel:
             raise GuestError(f"access by stopped process {process.pid}")
         handler = self._fault_handlers[process.pid]
         k = self.scheduler.vcpu_of(process)
-        result = self.vm.mmu.access(
-            process.space.pt,
-            process.space.tlbs[k],
-            vpns,
-            write,
-            handler,
-            pml=self.vm.vcpus[k].pml,
-        )
+        self._active_access[process.pid] = np.asarray(vpns, dtype=np.int64)
+        try:
+            result = self.vm.mmu.access(
+                process.space.pt,
+                process.space.tlbs[k],
+                vpns,
+                write,
+                handler,
+                pml=self.vm.vcpus[k].pml,
+            )
+        finally:
+            self._active_access.pop(process.pid, None)
         for listener in self._access_listeners:
             listener(process, result)
         return result
+
+    def active_access_vpns(self, process: Process) -> np.ndarray:
+        """VPNs of ``process``'s access batch currently inside the MMU
+        (empty outside an access) — pages a mid-fault reclaimer must
+        leave mapped."""
+        got = self._active_access.get(process.pid)
+        if got is None:
+            return np.empty(0, dtype=np.int64)
+        return got
 
     def access_plan(
         self,

@@ -67,6 +67,13 @@ class UserFaultFd:
         self.mode = UfdMode(0)
         self._registered = np.zeros(process.space.n_pages, dtype=bool)
         self._dirty: list[np.ndarray] = []
+        #: Userspace miss handlers run after each resolved MISSING batch,
+        #: in registration order — the seam demand-paging consumers
+        #: (post-copy pull, balloon refault) hang their content install
+        #: on.  They run before the MMU completes the triggering access,
+        #: so a write access still lands on top of the installed content
+        #: (UFFDIO_COPY ordering).
+        self.miss_resolvers: list = []
         self.n_faults = 0
         process.uffd = self
 
@@ -157,6 +164,17 @@ class UserFaultFd:
             pt = self.process.space.pt
             pt.set_flags(zeroed, PTE_UFD_WP)
             pt.clear_flags(zeroed, PTE_WRITABLE | PTE_ZERO)
+        for resolver in list(self.miss_resolvers):
+            resolver(vpns, write_mask)
+
+    def add_miss_resolver(self, resolver) -> None:
+        """Register a userspace miss handler: ``resolver(vpns, write_mask)``
+        runs after each MISSING batch is mapped (see ``miss_resolvers``)."""
+        self.miss_resolvers.append(resolver)
+
+    def remove_miss_resolver(self, resolver) -> None:
+        if resolver in self.miss_resolvers:
+            self.miss_resolvers.remove(resolver)
 
     def _handle_faults(self, vpns: np.ndarray) -> None:
         n = int(len(vpns))

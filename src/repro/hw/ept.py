@@ -92,6 +92,41 @@ class Ept:
         self.flags[written] |= EPT_DIRTY
         return newly_dirty.astype(np.int64)
 
+    def unmap(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
+        """Remove GPA->HPA mappings (balloon inflate); returns the HPFNs
+        that were mapped so the hypervisor can return them to the host
+        pool.  Unmapped entries lose all flags — a later re-map starts
+        with clean A/D bits, so the first post-deflate write is a fresh
+        0->1 dirty transition and PML logs it again."""
+        g = self._check(gpfns)
+        h = self.hpfn[g]
+        if np.any(h < 0):
+            raise InvalidAddressError("EPT unmap of an unmapped GPFN")
+        out = h.copy()
+        self.hpfn[g] = -1
+        self.flags[g] = 0
+        self.generation += 1
+        return out
+
+    def clear_accessed(self, gpfns: np.ndarray | list[int] | None = None) -> int:
+        """Clear A bits (WSS sample re-arm); returns how many were set.
+
+        Like :meth:`clear_dirty`, this must bump :attr:`generation`: the
+        walk cache replays memoized batches without re-setting accessed
+        bits, so a sampler that cleared A bits behind the cache's back
+        would under-count every page whose accesses replay from the cache.
+        """
+        self.generation += 1
+        if gpfns is None:
+            acc = (self.flags & EPT_ACCESSED) != 0
+            n = int(acc.sum())
+            self.flags &= ~EPT_ACCESSED
+            return n
+        g = self._check(gpfns)
+        n = int(((self.flags[g] & EPT_ACCESSED) != 0).sum())
+        self.flags[g] &= ~EPT_ACCESSED
+        return n
+
     def clear_dirty(self, gpfns: np.ndarray | list[int] | None = None) -> int:
         """Clear D bits (harvest re-arm); returns how many were set."""
         self.generation += 1
@@ -107,3 +142,8 @@ class Ept:
 
     def dirty_gpfns(self) -> np.ndarray:
         return np.nonzero((self.flags & EPT_DIRTY) != 0)[0].astype(np.int64)
+
+    def accessed_mask(self, gpfns: np.ndarray | list[int]) -> np.ndarray:
+        """A-bit state per given GPFN (reclaim cold/hot classification)."""
+        g = self._check(gpfns)
+        return (self.flags[g] & EPT_ACCESSED) != 0

@@ -37,6 +37,8 @@ __all__ = [
     "HC_OOH_SPP_INIT",
     "HC_OOH_SPP_PROTECT",
     "HC_OOH_SPP_UNPROTECT",
+    "HC_OOH_BALLOON_INFLATE",
+    "HC_OOH_BALLOON_DEFLATE",
     "HypercallTable",
 ]
 
@@ -51,6 +53,11 @@ HC_OOH_RESET_DIRTY = 0x4F07
 HC_OOH_SPP_INIT = 0x4F10
 HC_OOH_SPP_PROTECT = 0x4F11
 HC_OOH_SPP_UNPROTECT = 0x4F12
+# Memory economics (fleet overcommit): the guest balloon driver hands
+# cold guest frames back to the host (inflate) and asks for them to be
+# re-backed on refault (deflate), virtio-balloon style.
+HC_OOH_BALLOON_INFLATE = 0x4F20
+HC_OOH_BALLOON_DEFLATE = 0x4F21
 
 HypercallHandler = Callable[..., object]
 

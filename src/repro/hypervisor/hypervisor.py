@@ -18,7 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.clock import SimClock, World
-from repro.core.costs import EV_PML_FULL_VMEXIT, EV_RB_COPY, CostModel
+from repro.core.costs import (
+    EV_BALLOON_PAGE,
+    EV_PML_FULL_VMEXIT,
+    EV_RB_COPY,
+    CostModel,
+)
 from repro.core.ringbuffer import RingBuffer
 from repro.errors import ConfigurationError, HypercallError
 from repro.hw import vmcs as vmcsf
@@ -179,6 +184,8 @@ class Hypervisor:
         t.register(hc.HC_OOH_SPP_INIT, self._hc_spp_init)
         t.register(hc.HC_OOH_SPP_PROTECT, self._hc_spp_protect)
         t.register(hc.HC_OOH_SPP_UNPROTECT, self._hc_spp_unprotect)
+        t.register(hc.HC_OOH_BALLOON_INFLATE, self._hc_balloon_inflate)
+        t.register(hc.HC_OOH_BALLOON_DEFLATE, self._hc_balloon_deflate)
 
     # -- SPML ---------------------------------------------------------
     def _hc_init_pml(self, vcpu: Vcpu, ring_capacity: int | None = None) -> RingBuffer:
@@ -274,6 +281,50 @@ class Hypervisor:
         vm = self._vm_of(vcpu)
         g = np.asarray(gpfns, dtype=np.int64)
         return vm.ept.clear_dirty(g)
+
+    # -- balloon (fleet memory economics) ---------------------------------
+    def _hc_balloon_inflate(self, vcpu: Vcpu, gpfns: np.ndarray) -> int:
+        """Guest hands cold frames to the host: EPT-unmap the GPFNs and
+        return their host frames to the pool.  Unmapped entries lose all
+        flags, so a later deflate re-maps with clean A/D bits and PML
+        re-logs the first post-refault write."""
+        vm = self._vm_of(vcpu)
+        g = np.asarray(gpfns, dtype=np.int64).ravel()
+        if g.size == 0:
+            return 0
+        hpfns = vm.ept.unmap(g)
+        self.host_mem.free(hpfns)
+        self.clock.charge(
+            g.size * self.costs.params.balloon_page_us,
+            World.HYPERVISOR,
+            EV_BALLOON_PAGE,
+            int(g.size),
+        )
+        return int(g.size)
+
+    def _hc_balloon_deflate(self, vcpu: Vcpu, gpfns: np.ndarray) -> int:
+        """Re-back ballooned GPFNs with fresh host frames (refault path).
+
+        Raises :class:`~repro.errors.OutOfFramesError` when the host pool
+        is genuinely exhausted — the caller's reclaim controller must free
+        frames elsewhere first — and the injectable ``FRAME_EXHAUSTION``
+        fault site makes the allocation transiently fail under chaos.
+        """
+        vm = self._vm_of(vcpu)
+        g = np.asarray(gpfns, dtype=np.int64).ravel()
+        if g.size == 0:
+            return 0
+        if np.any(vm.ept.hpfn[g] >= 0):
+            raise HypercallError("balloon deflate of a mapped GPFN")
+        hpfns = self.host_mem.alloc(int(g.size))
+        vm.ept.map(g, hpfns)
+        self.clock.charge(
+            g.size * self.costs.params.balloon_page_us,
+            World.HYPERVISOR,
+            EV_BALLOON_PAGE,
+            int(g.size),
+        )
+        return int(g.size)
 
     def _on_spp_violation(self, vcpu: Vcpu, payload: object) -> None:
         """SPP-induced vmexit: notify the guest with a virtual interrupt

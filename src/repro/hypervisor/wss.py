@@ -37,7 +37,11 @@ class WssEstimator:
     samples: list[WssSample] = field(default_factory=list)
 
     def _clear_accessed(self) -> None:
-        self.vm.ept.flags &= ~EPT_ACCESSED
+        # Must go through the invalidating mutator: clearing A bits by
+        # poking ``ept.flags`` directly would leave ``Ept.generation``
+        # unchanged, so a warm walk-cache batch could replay without
+        # re-setting accessed bits and the sample would under-count.
+        self.vm.ept.clear_accessed()
 
     def _count_accessed(self) -> int:
         return int(((self.vm.ept.flags & EPT_ACCESSED) != 0).sum())

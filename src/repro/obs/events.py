@@ -66,6 +66,14 @@ class EventKind(enum.Enum):
     COLLECT_STATS = "collect_stats"
     #: Detected loss forced a conservative resync [core/ooh].
     RESYNC = "resync"
+    #: The balloon reclaimed cold frames from a guest [fleet/economics].
+    BALLOON_INFLATE = "balloon_inflate"
+    #: The balloon re-backed guest frames on refault [fleet/economics].
+    BALLOON_DEFLATE = "balloon_deflate"
+    #: A guest touched a reclaimed page; contents refaulted in [fleet/economics].
+    BALLOON_REFAULT = "balloon_refault"
+    #: A host's reclaim controller ran to restore free-frame slack [fleet/economics].
+    RECLAIM_PRESSURE = "reclaim_pressure"
     #: A snapshot's contents were CoW-mapped over a region [serverless].
     SNAPSHOT_MAP = "snapshot_map"
     #: An instance extracted its byte-exact dirty diff [serverless].

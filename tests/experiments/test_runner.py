@@ -16,7 +16,7 @@ def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "table4", "table5", "table6",
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10_11",
-        "fault_matrix", "fleet", "serverless",
+        "fault_matrix", "fleet", "serverless", "overcommit",
     }
 
 

@@ -79,6 +79,98 @@ def test_wss_validation(stack):
         est.estimate(lambda: None, intervals=0)
 
 
+def test_wss_zero_access_interval(stack):
+    """An interval in which the VM touches nothing samples zero pages and
+    the estimate stays at zero — idle VMs must not inflate placement."""
+    proc = stack.kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    stack.kernel.access(proc, np.arange(64), True)
+    est = WssEstimator(stack.vm)
+    s = est.sample(lambda: None)
+    assert s.accessed_pages == 0
+    assert est.estimate(lambda: None, intervals=2) == pytest.approx(0.0)
+    assert est.estimate_pages(lambda: None, intervals=1) == 0
+
+
+def test_wss_single_interval_is_that_sample(stack):
+    proc = stack.kernel.spawn("app", n_pages=64)
+    proc.space.add_vma(64)
+    stack.kernel.access(proc, np.arange(64), True)
+    est = WssEstimator(stack.vm)
+    pages = est.estimate_pages(
+        lambda: stack.kernel.access(proc, np.arange(23), False), intervals=1
+    )
+    assert pages == 23
+    assert est.samples[-1].accessed_pages == 23
+
+
+def test_wss_multi_vcpu_sampling_under_rotation():
+    """SMP: quantum expiry rotates the process across vCPUs mid-interval;
+    accessed bits are per-EPT (not per-vCPU), so the sample must still
+    count every touched page exactly once."""
+    from repro.experiments.harness import build_stack
+
+    stack = build_stack(vm_mb=8, n_vcpus=4, switch_interval_us=50.0)
+    proc = stack.kernel.spawn("app", n_pages=256)
+    proc.space.add_vma(256)
+    stack.kernel.access(proc, np.arange(256), True)
+    est = WssEstimator(stack.vm)
+
+    def interval():
+        # Several small batches with compute between them, so the
+        # scheduler rotates the process across all four vCPUs.
+        for i in range(8):
+            stack.kernel.access(proc, np.arange(i * 16, (i + 1) * 16), True)
+            stack.kernel.compute(proc, 60.0)
+
+    s = est.sample(interval)
+    assert s.accessed_pages == 128
+
+
+def test_wss_estimate_stable_across_repeat_runs():
+    """Same seed, same workload, fresh stacks: the estimate is the same
+    number — the fleet's placement decisions are reproducible."""
+    from repro.experiments.harness import build_stack
+
+    def one_run() -> int:
+        stack = build_stack(vm_mb=8)
+        proc = stack.kernel.spawn("app", n_pages=512)
+        proc.space.add_vma(512)
+        stack.kernel.access(proc, np.arange(512), True)
+        rng = np.random.default_rng(42)
+        est = WssEstimator(stack.vm)
+        return est.estimate_pages(
+            lambda: stack.kernel.access(proc, rng.integers(0, 512, 96), True),
+            intervals=3,
+        )
+
+    assert one_run() == one_run()
+
+
+def test_wss_sample_correct_with_warm_walk_cache():
+    """Regression: ``_clear_accessed`` must invalidate the walk cache.
+
+    Repeating one identical batch memoizes it; if clearing the accessed
+    bits left ``Ept.generation`` unchanged, the next interval would
+    *replay* the batch without re-setting accessed bits and the sample
+    would read 0 instead of the working set."""
+    from repro.experiments.harness import build_stack
+
+    stack = build_stack(vm_mb=8)
+    stack.vm.mmu._cache = {}  # force the walk cache on for this test
+    proc = stack.kernel.spawn("app", n_pages=128)
+    proc.space.add_vma(128)
+    stack.kernel.access(proc, np.arange(128), True)
+    batch = np.arange(32, dtype=np.int64)
+    for _ in range(4):  # memoize the batch (fast path + replay warm)
+        stack.kernel.access(proc, batch, True)
+    assert stack.vm.mmu.n_replay_batches > 0
+    est = WssEstimator(stack.vm)
+    for _ in range(3):
+        s = est.sample(lambda: stack.kernel.access(proc, batch, True))
+        assert s.accessed_pages == 32
+
+
 def test_wss_does_not_break_pml_tracking(stack):
     """Accessed-bit sampling must not disturb dirty-bit logging."""
     from repro.core.tracking import Technique, make_tracker
